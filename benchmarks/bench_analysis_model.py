@@ -1,0 +1,56 @@
+"""Section 4.1 — analytic caching-gain model (Equations 5 and 6).
+
+Prints the expected total node transmissions with and without caching
+across path lengths and loss rates, and checks the model against a
+packet-level simulation of the same setting.
+"""
+
+from conftest import run_once
+
+from repro.core.analysis import (
+    caching_gain,
+    expected_transmissions_with_caching,
+    expected_transmissions_without_caching,
+)
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import LOSSY_LINK_QUALITY, linear_scenario
+
+
+def _model_rows():
+    rows = []
+    for hops in (2, 4, 6, 8):
+        for loss in (0.3, 0.5):
+            rows.append({
+                "hops": hops,
+                "link_loss": loss,
+                "E[T]_JTP (Eq.5)": expected_transmissions_with_caching(100, hops, loss),
+                "E[T]_JNC (Eq.6)": expected_transmissions_without_caching(100, hops, loss, attempts=5),
+                "gain": caching_gain(hops, loss, attempts=5),
+            })
+    return rows
+
+
+def test_analytic_model_table(benchmark):
+    rows = run_once(benchmark, _model_rows)
+    print()
+    print(format_table(rows, title="Equations 5-6: expected transmissions for 100 packets"))
+    gains = [row["gain"] for row in rows if row["link_loss"] == 0.5]
+    assert gains == sorted(gains), "caching gain must grow with path length"
+
+
+def test_simulation_matches_equation5_shape(benchmark):
+    """Per-packet link transmissions in simulation track the 1/(1-p) model."""
+
+    def simulate():
+        result = linear_scenario(5, protocol="jtp", transfer_bytes=60_000, num_flows=1,
+                                 duration=900, seed=1, link_quality=LOSSY_LINK_QUALITY)
+        metrics = result.metrics
+        packets_delivered = metrics.delivered_bytes / 800.0
+        return metrics.link_transmissions / (packets_delivered * 4)  # 4 links on a 5-node chain
+
+    per_link = run_once(benchmark, simulate)
+    expected = 1.0 / (1.0 - 0.5)
+    print(f"\nmean transmissions per packet per link: measured {per_link:.2f}, Eq.5 predicts {expected:.2f}")
+    # Feedback traffic and source retransmissions sit on top of the data-path
+    # model, so the measured value should bracket the prediction loosely.
+    assert 0.7 * expected <= per_link <= 2.2 * expected

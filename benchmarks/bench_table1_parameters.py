@@ -1,0 +1,17 @@
+"""Table 1 — default parameter values used throughout the evaluation."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_table1_defaults(benchmark):
+    rows = run_once(benchmark, figures.table1)
+    print()
+    print(format_table(rows, title="Table 1: default parameters"))
+    values = {row["parameter"]: row["value"] for row in rows}
+    assert values["MAX_ATTEMPTS"] == 5
+    assert values["JTP Pkt Size"] == "800 bytes"
+    assert values["Cache Size"] == "1000 pkts"
+    assert values["T_Lower_bound"] == "10 s"

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+reduced scale (fewer seeds, shorter runs) and prints the resulting rows
+or series, so ``pytest benchmarks/ --benchmark-only -s`` reads like the
+paper's evaluation section.  Every experiment function accepts the full
+paper-scale parameters if you want the long version.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, experiment: Callable, *args, **kwargs):
+    """Run ``experiment`` exactly once under pytest-benchmark timing.
+
+    The experiments are full simulations taking hundreds of milliseconds
+    to a few seconds each; a single round keeps the whole harness fast
+    while still recording the wall-clock cost of regenerating the figure.
+    """
+    return benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Loss-tolerant media delivery: trading reliability for energy.
+
+The paper's Section 3 motivates adjustable reliability with media
+applications (voice, video, images) that tolerate a fraction of lost
+packets.  This example transfers the same "video segment" across a
+6-node chain three times — with 0%, 10% and 20% loss tolerance — and
+shows how JTP spends progressively less energy while still delivering
+at least the fraction the application asked for.
+
+Run with::
+
+    python examples/video_streaming.py
+"""
+
+from repro import JTPConfig, Network, open_transfer
+from repro.experiments.report import format_table
+from repro.sim.channel import LinkQuality
+
+SEGMENT_BYTES = 120_000
+NUM_NODES = 6
+LINK = LinkQuality(good_loss=0.05, bad_loss=0.6, bad_fraction=0.1)
+
+
+def stream_segment(loss_tolerance: float, seed: int = 7) -> dict:
+    """Deliver one segment with the given loss tolerance; return a result row."""
+    network = Network.linear(NUM_NODES, link_quality=LINK, seed=seed)
+    config = JTPConfig(loss_tolerance=loss_tolerance)
+    transfer = open_transfer(network, src=0, dst=NUM_NODES - 1,
+                             transfer_bytes=SEGMENT_BYTES, config=config)
+    network.run(900.0)
+    stats = transfer.flow_stats
+    return {
+        "profile": f"jtp{int(loss_tolerance * 100)}",
+        "loss_tolerance": f"{loss_tolerance:.0%}",
+        "delivered_kB": round(stats.unique_bytes_delivered / 1e3, 1),
+        "required_kB": round(SEGMENT_BYTES * (1 - loss_tolerance) / 1e3, 1),
+        "requirement_met": stats.unique_bytes_delivered >= SEGMENT_BYTES * (1 - loss_tolerance) - 1e-6,
+        "total_energy_J": round(network.stats.total_energy_joules(), 3),
+        "link_transmissions": network.stats.link_transmissions,
+        "source_rtx": stats.source_retransmissions,
+    }
+
+
+def main() -> None:
+    rows = [stream_segment(tolerance) for tolerance in (0.0, 0.10, 0.20)]
+    print(format_table(rows, title="Streaming one 120 kB segment over a 6-node chain"))
+    print()
+    print("Higher loss tolerance lets iJTP grant fewer link-layer attempts per packet,")
+    print("so the network spends fewer transmissions (and less energy) on data the")
+    print("application can live without — the Figure 3 trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""In-network packet cache (Section 4).
+
+Every iJTP instance manages a bounded cache of the data packets that
+traversed its node.  When an ACK with a SNACK list passes through, any
+requested packet found in the cache is retransmitted towards the
+destination and marked in the ACK's locally-recovered field so that
+upstream nodes (and ultimately the source) do not retransmit it again.
+
+The paper evicts the **least recently manipulated** packet (LRU) on
+overflow and leaves the study of other policies to future work; a FIFO
+policy is provided here so that ablation benchmarks can quantify the
+difference.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import CachePolicy
+from repro.core.packet import Packet
+from repro.util.validation import require_positive
+
+
+class PacketCache:
+    """Bounded per-node store of traversing data packets."""
+
+    def __init__(self, capacity: int = 1000, policy: CachePolicy = CachePolicy.LRU):
+        self.capacity = int(require_positive(capacity, "capacity"))
+        self.policy = policy
+        self._entries: "OrderedDict[Tuple[int, int], Packet]" = OrderedDict()
+        self.insertions = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def insert(self, packet: Packet) -> None:
+        """Store a traversing data packet, evicting if necessary.
+
+        Re-inserting an already-cached packet refreshes both its stored
+        copy and, under LRU, its recency.
+        """
+        if not packet.is_data:
+            raise ValueError("only data packets are cached")
+        key = packet.cache_key()
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = packet
+        self.insertions += 1
+
+    def _evict_one(self) -> None:
+        """Remove one packet according to the configured policy.
+
+        Under both LRU and FIFO the victim is the first entry of the
+        ordered dict; the difference is that LRU refreshes an entry's
+        position on every lookup while FIFO never does.
+        """
+        self._entries.popitem(last=False)
+        self.evictions += 1
+
+    def lookup(self, flow_id: int, seq: int) -> Optional[Packet]:
+        """Return the cached packet, refreshing recency under LRU."""
+        key = (flow_id, seq)
+        packet = self._entries.get(key)
+        if packet is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.policy is CachePolicy.LRU:
+            self._entries.move_to_end(key)
+        return packet
+
+    def discard(self, flow_id: int, seq: int) -> bool:
+        """Remove a packet (e.g. once it is known to be delivered)."""
+        return self._entries.pop((flow_id, seq), None) is not None
+
+    def discard_up_to(self, flow_id: int, cumulative_ack: int) -> int:
+        """Drop all cached packets of ``flow_id`` with seq <= ``cumulative_ack``.
+
+        Called when a traversing ACK shows those packets have reached
+        the destination; keeping them would only waste cache slots.
+        Returns the number of entries removed.
+        """
+        stale = [key for key in self._entries if key[0] == flow_id and key[1] <= cumulative_ack]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def discard_flow(self, flow_id: int) -> int:
+        """Drop every cached packet belonging to ``flow_id``."""
+        stale = [key for key in self._entries if key[0] == flow_id]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def retrieve_for_snack(self, flow_id: int, snack: Tuple[int, ...]) -> List[Packet]:
+        """All cached packets of ``flow_id`` whose seq appears in ``snack``."""
+        found: List[Packet] = []
+        for seq in snack:
+            packet = self.lookup(flow_id, seq)
+            if packet is not None:
+                found.append(packet)
+        return found
+
+    def occupancy_by_flow(self) -> Dict[int, int]:
+        """Number of cached packets per flow (useful for fairness studies)."""
+        counts: Dict[int, int] = {}
+        for flow_id, _ in self._entries:
+            counts[flow_id] = counts.get(flow_id, 0) + 1
+        return counts
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that found the requested packet."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,134 @@
+"""JTP connections: wiring a sender and a receiver over a network.
+
+A :class:`JTPConnection` creates the flow's statistics object, the
+sender at the source node and the receiver at the destination node,
+registers both as transport agents and starts them at the requested
+time.  :func:`open_transfer` is the one-call convenience used by the
+quickstart example; protocol installation across the network (iJTP on
+every node) is handled by :func:`ensure_ijtp_installed` so multiple
+connections share the same per-node modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import JTPConfig
+from repro.core.ijtp import IntermediateJTP, install_ijtp_everywhere
+from repro.core.receiver import JTPReceiver
+from repro.core.sender import JTPSender
+from repro.sim.network import Network
+from repro.sim.stats import FlowStats
+from repro.util.validation import require_non_negative, require_positive
+
+
+def ensure_ijtp_installed(network: Network, config: Optional[JTPConfig] = None) -> List[IntermediateJTP]:
+    """Install iJTP on every node of ``network`` exactly once.
+
+    Subsequent calls return the modules installed by the first call, so
+    several connections (or the experiment harness) can call this freely.
+    """
+    existing = getattr(network, "_ijtp_modules", None)
+    if existing is not None:
+        return existing
+    modules = install_ijtp_everywhere(network, config=config)
+    network._ijtp_modules = modules  # type: ignore[attr-defined]
+    return modules
+
+
+class JTPConnection:
+    """One JTP transfer between two nodes of a network."""
+
+    def __init__(
+        self,
+        network: Network,
+        src: int,
+        dst: int,
+        transfer_bytes: float,
+        config: Optional[JTPConfig] = None,
+        flow_id: Optional[int] = None,
+        start_time: float = 0.0,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ):
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        require_positive(transfer_bytes, "transfer_bytes")
+        require_non_negative(start_time, "start_time")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.config = config or JTPConfig()
+        self.flow_id = flow_id if flow_id is not None else network.allocate_flow_id()
+        self.start_time = start_time
+
+        self.flow_stats = FlowStats(self.flow_id, src, dst, transfer_bytes=transfer_bytes)
+        network.stats.register_flow(self.flow_stats)
+
+        self.sender = JTPSender(
+            network.node(src),
+            flow_id=self.flow_id,
+            dst=dst,
+            transfer_bytes=transfer_bytes,
+            config=self.config,
+            flow_stats=self.flow_stats,
+            trace=network.trace,
+            on_complete=on_complete,
+        )
+        self.receiver = JTPReceiver(
+            network.node(dst),
+            flow_id=self.flow_id,
+            src=src,
+            total_packets=self.sender.total_packets,
+            config=self.config,
+            flow_stats=self.flow_stats,
+            trace=network.trace,
+        )
+        network.node(src).register_agent(self.flow_id, self.sender)
+        network.node(dst).register_agent(self.flow_id, self.receiver)
+        network.sim.schedule_at(max(start_time, network.sim.now), self._start)
+
+    def _start(self) -> None:
+        self.sender.start()
+        self.receiver.start()
+
+    # -- observers -------------------------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        """Whether the sender has finished (all data acknowledged or forgiven)."""
+        return self.sender.completed
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of the requested transfer delivered to the application."""
+        return self.flow_stats.delivery_fraction()
+
+    def describe(self) -> str:
+        return (
+            f"JTP flow {self.flow_id}: node {self.src} -> node {self.dst}, "
+            f"{self.sender.total_packets} packets, loss tolerance "
+            f"{self.config.loss_tolerance:.0%}"
+        )
+
+
+def open_transfer(
+    network: Network,
+    src: int,
+    dst: int,
+    transfer_bytes: float,
+    config: Optional[JTPConfig] = None,
+    start_time: float = 0.0,
+    install_hop_modules: bool = True,
+) -> JTPConnection:
+    """Create a JTP transfer, installing iJTP network-wide if needed.
+
+    This is the one-liner used by the examples::
+
+        connection = open_transfer(network, src=0, dst=4, transfer_bytes=100_000)
+        network.run(600)
+        print(connection.flow_stats.unique_bytes_delivered)
+    """
+    config = config or JTPConfig()
+    if install_hop_modules:
+        ensure_ijtp_installed(network, config)
+    return JTPConnection(network, src, dst, transfer_bytes, config=config, start_time=start_time)

@@ -1,0 +1,128 @@
+"""Adjustable reliability for energy conservation (Section 3).
+
+The application expresses an end-to-end loss tolerance ``l_e2e``.  On a
+path of ``H`` links with per-link success probabilities ``q_i`` the
+application requirement is satisfied when
+
+    ``l_e2e = 1 - prod_i q_i``                               (Eq. 1)
+
+Each node turns its per-link success target into a bounded number of
+link-layer transmission attempts: if a single attempt fails with
+probability ``p_i`` then ``q_i = 1 - p_i ** M_i`` and therefore
+
+    ``M_i = max(1, min(log(1 - q_i) / log(p_i), MAX_ATTEMPTS))``   (Eq. 2)
+
+Before forwarding, the node rewrites the packet's loss-tolerance field
+so downstream nodes do not reuse effort this node already spent:
+
+    ``lt_{i+1} = 1 - (1 - lt_i) / q_i``                       (Eq. 3)
+
+With equal per-link targets (the strategy the paper evaluates) the
+target on each of the remaining ``H_i`` links is
+
+    ``q = (1 - lt_i) ** (1 / H_i)``                           (Eq. 4)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.util.validation import require_positive, require_probability
+
+
+def per_link_success_target(loss_tolerance: float, remaining_hops: int) -> float:
+    """Equation (4): equal per-link success target for the remaining path.
+
+    A loss tolerance of 0 demands success probability 1 on every link
+    (which Eq. 2 then caps at MAX_ATTEMPTS); a loss tolerance of 1
+    requires nothing at all.
+    """
+    require_probability(loss_tolerance, "loss_tolerance")
+    require_positive(remaining_hops, "remaining_hops")
+    return (1.0 - loss_tolerance) ** (1.0 / remaining_hops)
+
+
+def attempts_for_target(success_target: float, link_loss: float, max_attempts: int) -> int:
+    """Equation (2): attempts needed so that ``1 - p**M >= success_target``.
+
+    The result is always at least 1 and never exceeds ``max_attempts``
+    (the MAC's MAX_ATTEMPTS).  Degenerate cases:
+
+    * a loss-free link needs exactly one attempt,
+    * a success target of 1 (zero loss tolerance) can never be met with
+      finitely many attempts over a lossy link, so the cap applies,
+    * a success target of 0 needs one attempt (we always try once).
+    """
+    require_probability(success_target, "success_target")
+    require_probability(link_loss, "link_loss")
+    require_positive(max_attempts, "max_attempts")
+    if link_loss <= 0.0:
+        return 1
+    if success_target >= 1.0:
+        return int(max_attempts)
+    if success_target <= 0.0:
+        return 1
+    raw = math.log(1.0 - success_target) / math.log(link_loss)
+    attempts = int(math.ceil(raw - 1e-12))
+    return max(1, min(attempts, int(max_attempts)))
+
+
+def achieved_link_success(link_loss: float, attempts: int) -> float:
+    """Success probability actually achieved with ``attempts`` tries: ``1 - p**M``."""
+    require_probability(link_loss, "link_loss")
+    require_positive(attempts, "attempts")
+    return 1.0 - link_loss ** attempts
+
+
+def updated_loss_tolerance(loss_tolerance: float, link_success: float) -> float:
+    """Equation (3): loss tolerance to carry forward after this link.
+
+    ``lt' = 1 - (1 - lt) / q`` where ``q`` is this link's success
+    probability.  If the link overshoots the target (``q`` close to 1),
+    the forwarded tolerance grows, letting downstream nodes relax; if
+    the link can only undershoot (``q`` small), the result is clamped at
+    0 — downstream nodes must then do their best (full effort).
+    """
+    require_probability(loss_tolerance, "loss_tolerance")
+    if link_success <= 0.0:
+        return 0.0
+    updated = 1.0 - (1.0 - loss_tolerance) / link_success
+    return min(1.0, max(0.0, updated))
+
+
+def end_to_end_success_probability(link_successes: Sequence[float]) -> float:
+    """Equation (1) rearranged: product of per-link success probabilities."""
+    product = 1.0
+    for q in link_successes:
+        require_probability(q, "link success probability")
+        product *= q
+    return product
+
+
+def plan_hop_attempts(
+    loss_tolerance: float,
+    link_losses: Sequence[float],
+    max_attempts: int,
+) -> Tuple[List[int], float]:
+    """Simulate the hop-by-hop planning a packet experiences along a path.
+
+    For each hop in turn the function applies Eqs. (4), (2) and (3)
+    exactly as iJTP would, returning the per-hop attempt bounds and the
+    end-to-end success probability actually achieved.  This is the
+    reference model the property-based tests check the live iJTP
+    implementation against.
+    """
+    attempts_plan: List[int] = []
+    achieved: List[float] = []
+    lt = loss_tolerance
+    total_hops = len(link_losses)
+    for index, loss in enumerate(link_losses):
+        remaining = total_hops - index
+        target = per_link_success_target(lt, remaining)
+        attempts = attempts_for_target(target, loss, max_attempts)
+        attempts_plan.append(attempts)
+        q = achieved_link_success(loss, attempts)
+        achieved.append(q)
+        lt = updated_loss_tolerance(lt, q)
+    return attempts_plan, end_to_end_success_probability(achieved)

@@ -1,0 +1,47 @@
+"""Experiment harness: one entry point per table and figure of the paper.
+
+* :mod:`repro.experiments.metrics` — turns a finished simulation into the
+  metrics the paper reports (energy per delivered bit, goodput, per-node
+  energy, queue drops, source retransmissions, cache hits, fairness);
+* :mod:`repro.experiments.scenarios` — builders for the paper's scenarios
+  (static linear, static random, mobile random, testbed-like);
+* :mod:`repro.experiments.runner` — runs scenarios, replicates them over
+  seeds and aggregates with confidence intervals;
+* :mod:`repro.experiments.figures` — one function per figure/table
+  (``figure3`` … ``figure11``, ``table2``) returning structured rows;
+* :mod:`repro.experiments.report` — plain-text table rendering.
+"""
+
+from repro.experiments.metrics import ScenarioMetrics, collect_metrics, jains_fairness_index
+from repro.experiments.scenarios import (
+    PAPER_LINK_QUALITY,
+    LOSSY_LINK_QUALITY,
+    STABLE_LINK_QUALITY,
+    ScenarioResult,
+    linear_scenario,
+    random_scenario,
+    mobile_scenario,
+    testbed_scenario,
+)
+from repro.experiments.runner import average_metrics, confidence_interval, replicate
+from repro.experiments.report import format_table
+from repro.experiments import figures
+
+__all__ = [
+    "ScenarioMetrics",
+    "collect_metrics",
+    "jains_fairness_index",
+    "PAPER_LINK_QUALITY",
+    "LOSSY_LINK_QUALITY",
+    "STABLE_LINK_QUALITY",
+    "ScenarioResult",
+    "linear_scenario",
+    "random_scenario",
+    "mobile_scenario",
+    "testbed_scenario",
+    "average_metrics",
+    "confidence_interval",
+    "replicate",
+    "format_table",
+    "figures",
+]

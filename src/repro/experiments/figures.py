@@ -1,0 +1,617 @@
+"""One experiment definition per figure and table of the paper.
+
+Every function returns plain data (lists of row dictionaries or time
+series) so it can be used three ways: printed by the benchmark harness,
+asserted on by the integration tests, and post-processed by anyone who
+wants to plot the curves.  Default parameters are scaled down from the
+paper's (fewer seeds, shorter runs, smaller transfers) so a full
+regeneration finishes in minutes on a laptop; every parameter can be
+turned back up.
+
+The mapping to the paper:
+
+=============  =====================================================================
+``figure3``    Total energy & data delivered vs. net size for jtp0/jtp10/jtp20
+``figure3c``   Per-packet link-layer attempt bound over time at the third node
+``figure4``    Energy per bit, JTP vs. JNC, vs. net size (linear topologies)
+``figure4b``   Per-node energy in a 7-node linear topology, JTP vs. JNC
+``figure5``    Reception-rate time series of two competing flows, back-off on/off
+``figure6``    Source retransmissions vs. cache size for several net sizes
+``figure7``    Energy and queue drops vs. (constant) feedback rate, plus variable
+``figure8``    Rate adaptation of two competing JTP flows (flip-flop monitor)
+``figure9``    Energy per bit & goodput vs. net size, JTP vs. ATP vs. TCP (linear)
+``figure10``   Energy per bit & goodput, static random topologies
+``figure11``   Energy per bit, goodput and recovery split under mobility
+``table1``     Default parameter values
+``table2``     Testbed-like (stable links, Poisson workload) comparison
+=============  =====================================================================
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
+from repro.experiments.runner import confidence_interval
+from repro.experiments.scenarios import (
+    LOSSY_LINK_QUALITY,
+    PAPER_LINK_QUALITY,
+    ScenarioResult,
+    linear_scenario,
+    mobile_scenario,
+    random_scenario,
+    testbed_scenario,
+)
+from repro.transport.registry import make_protocol
+from repro.transport.udp import UdpConfig, UdpProtocol
+
+Row = Dict[str, object]
+
+
+def _mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    return statistics.fmean(values), confidence_interval(list(values))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — adjustable reliability levels
+# ---------------------------------------------------------------------------
+
+def figure3(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    tolerances: Sequence[float] = (0.0, 0.10, 0.20),
+    seeds: Sequence[int] = (1, 2),
+    transfer_bytes: float = 120_000.0,
+    duration: float = 900.0,
+) -> List[Row]:
+    """Figures 3(a) and 3(b): energy and delivered data per reliability level."""
+    rows: List[Row] = []
+    for size in net_sizes:
+        for tolerance in tolerances:
+            label = f"jtp{int(round(tolerance * 100))}"
+            energies, delivered = [], []
+            for seed in seeds:
+                result = linear_scenario(
+                    size,
+                    protocol=label if tolerance > 0 else "jtp",
+                    jtp_config=JTPConfig(loss_tolerance=tolerance),
+                    transfer_bytes=transfer_bytes,
+                    num_flows=1,
+                    duration=duration,
+                    seed=seed,
+                )
+                energies.append(result.metrics.energy_joules)
+                delivered.append(result.metrics.delivered_bytes / 1e3)
+            energy_mean, energy_ci = _mean_ci(energies)
+            data_mean, data_ci = _mean_ci(delivered)
+            rows.append({
+                "netSize": size,
+                "protocol": label,
+                "loss_tolerance": tolerance,
+                "total_energy_J": energy_mean,
+                "total_energy_ci": energy_ci,
+                "data_delivered_kB": data_mean,
+                "data_delivered_ci": data_ci,
+                "requirement_kB": transfer_bytes * (1.0 - tolerance) / 1e3,
+            })
+    return rows
+
+
+def figure3c(
+    num_nodes: int = 4,
+    tolerances: Sequence[float] = (0.10, 0.20),
+    transfer_bytes: float = 120_000.0,
+    duration: float = 900.0,
+    seed: int = 1,
+) -> Dict[str, List[Tuple[float, int]]]:
+    """Figure 3(c): iJTP's per-packet attempt bound over time at the third node.
+
+    Returns, per reliability label, the ``(time, attempts)`` series
+    recorded at node index 2 (the third node of the chain), exactly the
+    quantity plotted in the paper.
+    """
+    series: Dict[str, List[Tuple[float, int]]] = {}
+    for tolerance in tolerances:
+        label = f"jtp{int(round(tolerance * 100))}"
+        result = linear_scenario(
+            num_nodes,
+            protocol=label,
+            jtp_config=JTPConfig(loss_tolerance=tolerance),
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+            seed=seed,
+            trace_enabled=True,
+        )
+        events = result.network.trace.events("ijtp_attempts", node=2)
+        series[label] = [(event.time, int(event["attempts"])) for event in events]
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — caching gain (JTP vs JNC)
+# ---------------------------------------------------------------------------
+
+def figure4(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    seeds: Sequence[int] = (1, 2),
+    transfer_bytes: float = 150_000.0,
+    duration: float = 1200.0,
+) -> List[Row]:
+    """Figure 4(a): energy per delivered bit, JTP vs. JNC, vs. path length."""
+    rows: List[Row] = []
+    for size in net_sizes:
+        for name in ("jtp", "jnc"):
+            values, src_rtx = [], []
+            for seed in seeds:
+                result = linear_scenario(
+                    size,
+                    protocol=name,
+                    transfer_bytes=transfer_bytes,
+                    num_flows=1,
+                    duration=duration,
+                    seed=seed,
+                    link_quality=LOSSY_LINK_QUALITY,
+                )
+                values.append(result.metrics.energy_per_bit_microjoules)
+                src_rtx.append(result.metrics.source_retransmissions)
+            mean, ci = _mean_ci(values)
+            rows.append({
+                "netSize": size,
+                "protocol": name,
+                "energy_per_bit_uJ": mean,
+                "energy_per_bit_ci": ci,
+                "source_rtx": statistics.fmean(src_rtx),
+            })
+    return rows
+
+
+def figure4b(
+    num_nodes: int = 7,
+    seeds: Sequence[int] = (1, 2),
+    transfer_bytes: float = 150_000.0,
+    duration: float = 1200.0,
+) -> List[Row]:
+    """Figure 4(b): per-node energy in a 7-node chain, JTP vs. JNC."""
+    rows: List[Row] = []
+    for name in ("jtp", "jnc"):
+        per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
+        for seed in seeds:
+            result = linear_scenario(
+                num_nodes,
+                protocol=name,
+                transfer_bytes=transfer_bytes,
+                num_flows=1,
+                duration=duration,
+                seed=seed,
+                link_quality=LOSSY_LINK_QUALITY,
+            )
+            for node_id, joules in result.metrics.per_node_energy.items():
+                per_node[node_id].append(joules)
+        for node_id in range(num_nodes):
+            rows.append({
+                "protocol": name,
+                "node": node_id,
+                "energy_J": statistics.fmean(per_node[node_id]) if per_node[node_id] else 0.0,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — fairness of in-network caching (source back-off)
+# ---------------------------------------------------------------------------
+
+def figure5(
+    num_nodes: int = 6,
+    duration: float = 900.0,
+    transfer_bytes: float = 400_000.0,
+    seed: int = 2,
+    short_window: float = 20.0,
+    long_window: float = 120.0,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Figure 5: reception-rate series of two competing flows, back-off on/off.
+
+    Flow 1 is a UDP-like flow (no retransmission requests); flow 2 is a
+    fully reliable JTP flow that exercises the in-network caches.  The
+    result maps "with_backoff"/"without_backoff" to per-flow short- and
+    long-term reception-rate time series.
+    """
+    output: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for backoff in (True, False):
+        jtp_config = JTPConfig(backoff_enabled=backoff)
+        jtp = make_protocol("jtp", jtp_config)
+        udp = UdpProtocol(UdpConfig(rate_pps=2.0))
+        result_key = "with_backoff" if backoff else "without_backoff"
+
+        network_result = linear_scenario(
+            num_nodes,
+            protocol=jtp,
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=1.0,  # run() is called again below once both flows exist
+            seed=seed,
+            jtp_config=jtp_config,
+            link_quality=LOSSY_LINK_QUALITY,
+        )
+        network = network_result.network
+        udp_flow = udp.create_flow(network, 0, num_nodes - 1, transfer_bytes, start_time=0.0)
+        network.run(duration)
+
+        end = network.sim.now
+        jtp_flow = network_result.flows[0]
+        output[result_key] = {
+            "flow1_short": udp_flow.stats.reception_rate_series(short_window, short_window / 2, end),
+            "flow1_long": udp_flow.stats.reception_rate_series(long_window, long_window / 2, end),
+            "flow2_short": jtp_flow.stats.reception_rate_series(short_window, short_window / 2, end),
+            "flow2_long": jtp_flow.stats.reception_rate_series(long_window, long_window / 2, end),
+        }
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — effect of cache size
+# ---------------------------------------------------------------------------
+
+def figure6(
+    cache_sizes: Sequence[int] = (2, 5, 10, 20, 50, 100),
+    net_sizes: Sequence[int] = (5, 8),
+    transfer_bytes: float = 200_000.0,
+    duration: float = 1200.0,
+    seeds: Sequence[int] = (1, 2),
+) -> List[Row]:
+    """Figure 6: source retransmissions vs. in-network cache size."""
+    rows: List[Row] = []
+    for size in net_sizes:
+        for cache_size in cache_sizes:
+            rtx, recoveries = [], []
+            for seed in seeds:
+                result = linear_scenario(
+                    size,
+                    protocol="jtp",
+                    jtp_config=JTPConfig(cache_size=cache_size),
+                    transfer_bytes=transfer_bytes,
+                    num_flows=1,
+                    duration=duration,
+                    seed=seed,
+                    link_quality=LOSSY_LINK_QUALITY,
+                )
+                rtx.append(result.metrics.source_retransmissions)
+                recoveries.append(result.metrics.cache_recoveries)
+            rows.append({
+                "netSize": size,
+                "cache_size": cache_size,
+                "source_rtx": statistics.fmean(rtx),
+                "cache_recoveries": statistics.fmean(recoveries),
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — variable vs constant feedback rate
+# ---------------------------------------------------------------------------
+
+def figure7(
+    feedback_rates: Sequence[float] = (0.05, 0.1, 0.2, 0.33, 0.5),
+    num_nodes: int = 8,
+    duration: float = 900.0,
+    long_transfer_bytes: float = 600_000.0,
+    short_transfer_bytes: float = 40_000.0,
+    num_short_flows: int = 3,
+    seed: int = 1,
+) -> List[Row]:
+    """Figure 7: energy and queue drops vs. feedback rate, plus the variable point.
+
+    One long-lived flow spans the whole chain while several short-lived
+    flows come and go, so slow feedback lets the long-lived sender keep
+    transmitting into a congested path (queue drops) while fast feedback
+    burns energy on acknowledgments.  Variable-rate feedback should sit
+    near the bottom-left of both curves.
+    """
+    rows: List[Row] = []
+    configurations: List[Tuple[str, JTPConfig]] = [
+        (f"constant_{rate:g}", JTPConfig(feedback_mode=FeedbackMode.CONSTANT,
+                                         constant_feedback_period=1.0 / rate))
+        for rate in feedback_rates
+    ]
+    configurations.append(("variable", JTPConfig(feedback_mode=FeedbackMode.VARIABLE)))
+
+    for label, config in configurations:
+        protocol = make_protocol("jtp", config)
+        base = linear_scenario(
+            num_nodes,
+            protocol=protocol,
+            jtp_config=config,
+            transfer_bytes=long_transfer_bytes,
+            num_flows=1,
+            duration=1.0,
+            seed=seed,
+        )
+        network = base.network
+        flows = list(base.flows)
+        for index in range(num_short_flows):
+            start = 100.0 + index * (duration / (num_short_flows + 1))
+            flows.append(protocol.create_flow(network, 1, num_nodes - 2, short_transfer_bytes, start_time=start))
+        network.run(duration)
+        stats = network.stats
+        rows.append({
+            "feedback": label,
+            "feedback_rate_pps": (1.0 / config.constant_feedback_period
+                                  if config.feedback_mode is FeedbackMode.CONSTANT else None),
+            "energy_mJ": stats.total_energy_joules() * 1e3,
+            "queue_drops": network.total_queue_drops(),
+            "acks": sum(f.stats.acks_sent for f in flows),
+            "delivered_fraction": statistics.fmean(f.delivered_fraction for f in flows),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — rate adaptation of competing flows
+# ---------------------------------------------------------------------------
+
+def figure8(
+    num_nodes: int = 6,
+    duration: float = 900.0,
+    flow2_start: float = 300.0,
+    flow2_duration: float = 250.0,
+    seed: int = 4,
+    window: float = 30.0,
+) -> Dict[str, object]:
+    """Figure 8: two competing JTP flows, one long-lived and one short-lived.
+
+    Returns the reception-rate series of both flows plus flow 1's path
+    monitor readings (reported available rate, filtered mean and control
+    limits) so the flip-flop behaviour around the arrival and departure
+    of flow 2 can be inspected.
+    """
+    protocol = make_protocol("jtp")
+    base = linear_scenario(
+        num_nodes,
+        protocol=protocol,
+        transfer_bytes=2_000_000.0,
+        num_flows=1,
+        duration=1.0,
+        seed=seed,
+        trace_enabled=True,
+    )
+    network = base.network
+    flow1 = base.flows[0]
+    flow2_bytes = 800.0 * 3.0 * flow2_duration  # roughly 3 pkt/s for its lifetime
+    flow2 = protocol.create_flow(network, 0, num_nodes - 1, flow2_bytes, start_time=flow2_start)
+    network.run(duration)
+    end = network.sim.now
+
+    monitor_events = network.trace.events("jtp_receive", flow=flow1.flow_id)
+    return {
+        "flow1_rate": flow1.stats.reception_rate_series(window, window / 2, end),
+        "flow2_rate": flow2.stats.reception_rate_series(window, window / 2, end),
+        "flow1_reported_rate": [(e.time, e["rate_stamp"]) for e in monitor_events],
+        "flow1_monitor_mean": [(e.time, e["monitor_mean"]) for e in monitor_events],
+        "flow1_control_limits": [(e.time, e["monitor_lcl"], e["monitor_ucl"]) for e in monitor_events],
+        "flow2_interval": (flow2_start, flow2_start + flow2_duration),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-11 and Table 2 — protocol comparisons
+# ---------------------------------------------------------------------------
+
+def figure9(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    seeds: Sequence[int] = (1, 2),
+    transfer_bytes: float = 300_000.0,
+    duration: float = 1200.0,
+) -> List[Row]:
+    """Figure 9: energy per bit and goodput on linear topologies."""
+    rows: List[Row] = []
+    for size in net_sizes:
+        for name in protocols:
+            energy, goodput = [], []
+            for seed in seeds:
+                result = linear_scenario(
+                    size,
+                    protocol=name,
+                    transfer_bytes=transfer_bytes,
+                    num_flows=2,
+                    duration=duration,
+                    seed=seed,
+                )
+                energy.append(result.metrics.energy_per_bit_microjoules)
+                goodput.append(result.metrics.goodput_kbps)
+            energy_mean, energy_ci = _mean_ci(energy)
+            goodput_mean, goodput_ci = _mean_ci(goodput)
+            rows.append({
+                "netSize": size,
+                "protocol": name,
+                "energy_per_bit_uJ": energy_mean,
+                "energy_per_bit_ci": energy_ci,
+                "goodput_kbps": goodput_mean,
+                "goodput_ci": goodput_ci,
+            })
+    return rows
+
+
+def figure10(
+    net_sizes: Sequence[int] = (10, 15, 20),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    seeds: Sequence[int] = (1, 2),
+    num_flows: int = 5,
+    transfer_bytes: float = 100_000.0,
+    duration: float = 1200.0,
+) -> List[Row]:
+    """Figure 10: energy per bit and goodput on static random topologies."""
+    rows: List[Row] = []
+    for size in net_sizes:
+        for name in protocols:
+            energy, goodput = [], []
+            for seed in seeds:
+                result = random_scenario(
+                    size,
+                    protocol=name,
+                    num_flows=num_flows,
+                    transfer_bytes=transfer_bytes,
+                    duration=duration,
+                    seed=seed,
+                )
+                energy.append(result.metrics.energy_per_bit_microjoules)
+                goodput.append(result.metrics.goodput_kbps)
+            energy_mean, energy_ci = _mean_ci(energy)
+            goodput_mean, goodput_ci = _mean_ci(goodput)
+            rows.append({
+                "netSize": size,
+                "protocol": name,
+                "energy_per_bit_uJ": energy_mean,
+                "energy_per_bit_ci": energy_ci,
+                "goodput_kbps": goodput_mean,
+                "goodput_ci": goodput_ci,
+            })
+    return rows
+
+
+def figure11(
+    speeds: Sequence[float] = (0.1, 1.0, 5.0),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    seeds: Sequence[int] = (1,),
+    num_nodes: int = 15,
+    num_flows: int = 5,
+    transfer_bytes: float = 80_000.0,
+    duration: float = 1200.0,
+) -> List[Row]:
+    """Figure 11(a,b): energy per bit and goodput under random-waypoint mobility.
+
+    For JTP the rows also carry the Figure 11(c) quantities: source
+    retransmissions and cache recoveries, normalised by delivered
+    packets.
+    """
+    rows: List[Row] = []
+    for speed in speeds:
+        for name in protocols:
+            energy, goodput, rtx, recoveries, delivered = [], [], [], [], []
+            for seed in seeds:
+                result = mobile_scenario(
+                    num_nodes=num_nodes,
+                    protocol=name,
+                    speed=speed,
+                    num_flows=num_flows,
+                    transfer_bytes=transfer_bytes,
+                    duration=duration,
+                    seed=seed,
+                )
+                energy.append(result.metrics.energy_per_bit_microjoules)
+                goodput.append(result.metrics.goodput_kbps)
+                rtx.append(result.metrics.source_retransmissions)
+                recoveries.append(result.metrics.cache_recoveries)
+                delivered.append(max(1.0, result.metrics.delivered_bytes / 800.0))
+            rows.append({
+                "speed_mps": speed,
+                "protocol": name,
+                "energy_per_bit_uJ": statistics.fmean(energy),
+                "goodput_kbps": statistics.fmean(goodput),
+                "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
+                "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
+            })
+    return rows
+
+
+def table1() -> List[Row]:
+    """Table 1: the default parameter values used throughout the evaluation."""
+    config = JTPConfig()
+    return [
+        {"parameter": "MAX_ATTEMPTS", "value": config.max_attempts},
+        {"parameter": "JTP Pkt Size", "value": f"{config.packet_size_bytes:.0f} bytes"},
+        {"parameter": "Cache Size", "value": f"{config.cache_size} pkts"},
+        {"parameter": "T_Lower_bound", "value": f"{config.t_lower_bound:.0f} s"},
+        {"parameter": "JTP header", "value": f"{config.header_bytes:.0f} bytes"},
+        {"parameter": "JTP ACK header", "value": f"{config.ack_header_bytes:.0f} bytes"},
+    ]
+
+
+def table2(
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    duration: float = 1800.0,
+    seeds: Sequence[int] = (1,),
+    num_nodes: int = 14,
+) -> List[Row]:
+    """Table 2: testbed-like comparison over stable, low-loss links."""
+    rows: List[Row] = []
+    for name in protocols:
+        energy, goodput = [], []
+        for seed in seeds:
+            result = testbed_scenario(protocol=name, num_nodes=num_nodes, duration=duration, seed=seed)
+            energy.append(result.metrics.energy_per_bit_millijoules)
+            goodput.append(result.metrics.goodput_kbps)
+        rows.append({
+            "protocol": name,
+            "energy_per_bit_mJ": statistics.fmean(energy),
+            "goodput_kbps": statistics.fmean(goodput),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations called out in DESIGN.md
+# ---------------------------------------------------------------------------
+
+def ablation_cache_policy(
+    num_nodes: int = 7,
+    cache_size: int = 10,
+    transfer_bytes: float = 200_000.0,
+    duration: float = 1200.0,
+    seeds: Sequence[int] = (1, 2),
+) -> List[Row]:
+    """LRU vs. FIFO cache eviction under a deliberately small cache."""
+    rows: List[Row] = []
+    for policy in (CachePolicy.LRU, CachePolicy.FIFO):
+        rtx, recoveries = [], []
+        for seed in seeds:
+            result = linear_scenario(
+                num_nodes,
+                protocol="jtp",
+                jtp_config=JTPConfig(cache_size=cache_size, cache_policy=policy),
+                transfer_bytes=transfer_bytes,
+                num_flows=1,
+                duration=duration,
+                seed=seed,
+                link_quality=LOSSY_LINK_QUALITY,
+            )
+            rtx.append(result.metrics.source_retransmissions)
+            recoveries.append(result.metrics.cache_recoveries)
+        rows.append({
+            "policy": policy.value,
+            "source_rtx": statistics.fmean(rtx),
+            "cache_recoveries": statistics.fmean(recoveries),
+        })
+    return rows
+
+
+def ablation_mac_type(
+    num_nodes: int = 6,
+    transfer_bytes: float = 200_000.0,
+    duration: float = 1200.0,
+    seeds: Sequence[int] = (1,),
+) -> List[Row]:
+    """TDMA vs. CSMA/CA MAC under JTP (footnote 3 of the paper)."""
+    rows: List[Row] = []
+    from repro.sim.network import Network
+    from repro.transport.registry import make_protocol as _mk
+
+    for mac_type in ("tdma", "csma"):
+        energy, goodput = [], []
+        for seed in seeds:
+            network = Network.linear(num_nodes, seed=seed, link_quality=PAPER_LINK_QUALITY, mac_type=mac_type)
+            protocol = _mk("jtp")
+            protocol.install(network)
+            flows = [protocol.create_flow(network, 0, num_nodes - 1, transfer_bytes, start_time=5.0 * i)
+                     for i in range(2)]
+            network.run(duration)
+            from repro.experiments.metrics import collect_metrics
+            metrics = collect_metrics(network, flows, duration, f"jtp/{mac_type}")
+            energy.append(metrics.energy_per_bit_microjoules)
+            goodput.append(metrics.goodput_kbps)
+        rows.append({
+            "mac": mac_type,
+            "energy_per_bit_uJ": statistics.fmean(energy),
+            "goodput_kbps": statistics.fmean(goodput),
+        })
+    return rows

@@ -1,0 +1,130 @@
+"""Metric extraction from finished simulation runs.
+
+The two headline metrics follow the paper's Section 6 definitions:
+
+* **energy per delivered bit** — all transport-attributed radio energy
+  in the system divided by the number of unique application bits
+  delivered (network-maintenance energy of lower layers is never
+  charged, because the substrate never charges it in the first place);
+* **goodput** — per-flow delivered application bits over the flow's
+  active lifetime, averaged across flows.
+
+The remaining counters feed the per-figure experiments: per-node energy
+(Fig. 4b), queue drops (Fig. 7b), source retransmissions and cache
+recoveries (Figs. 6 and 11c), ACK counts and delivered fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.sim.network import Network
+from repro.transport.base import FlowHandle
+from repro.util.units import joules_to_microjoules
+
+
+def jains_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n maximally unfair."""
+    values = [v for v in values]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass
+class ScenarioMetrics:
+    """All metrics extracted from one simulation run."""
+
+    protocol: str
+    num_nodes: int
+    num_flows: int
+    duration: float
+
+    energy_joules: float
+    delivered_bytes: float
+    energy_per_bit_joules: float
+    goodput_bps: float
+    aggregate_goodput_bps: float
+    delivered_fraction: float
+
+    source_retransmissions: int
+    cache_recoveries: int
+    queue_drops: int
+    routing_drops: int
+    link_transmissions: int
+    acks_sent: int
+    ack_bytes: float
+    fairness: float
+    per_node_energy: Dict[int, float] = field(default_factory=dict)
+    per_flow_goodput: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def energy_per_bit_microjoules(self) -> float:
+        """Energy per delivered bit in µJ (the unit of Figures 9-11)."""
+        return joules_to_microjoules(self.energy_per_bit_joules)
+
+    @property
+    def energy_per_bit_millijoules(self) -> float:
+        """Energy per delivered bit in mJ (the unit of Table 2)."""
+        return self.energy_per_bit_joules * 1e3
+
+    @property
+    def goodput_kbps(self) -> float:
+        """Average per-flow goodput in kbit/s (the unit of Figures 9-11)."""
+        return self.goodput_bps / 1e3
+
+    def as_row(self) -> Dict[str, float]:
+        """A flat dictionary suitable for the text-table reporter."""
+        return {
+            "protocol": self.protocol,
+            "netSize": self.num_nodes,
+            "flows": self.num_flows,
+            "energy_J": round(self.energy_joules, 4),
+            "energy_per_bit_uJ": round(self.energy_per_bit_microjoules, 3),
+            "goodput_kbps": round(self.goodput_kbps, 4),
+            "delivered_frac": round(self.delivered_fraction, 3),
+            "source_rtx": self.source_retransmissions,
+            "cache_recoveries": self.cache_recoveries,
+            "queue_drops": self.queue_drops,
+            "acks": self.acks_sent,
+        }
+
+
+def collect_metrics(
+    network: Network,
+    flows: Sequence[FlowHandle],
+    duration: float,
+    protocol: str,
+) -> ScenarioMetrics:
+    """Extract a :class:`ScenarioMetrics` from a finished run."""
+    stats = network.stats
+    end_time = network.sim.now
+    flow_goodputs = {f.flow_id: f.stats.flow_goodput_bps(end_time) for f in flows}
+    delivered_fractions = [f.delivered_fraction for f in flows]
+    return ScenarioMetrics(
+        protocol=protocol,
+        num_nodes=network.num_nodes,
+        num_flows=len(flows),
+        duration=duration,
+        energy_joules=stats.total_energy_joules(),
+        delivered_bytes=stats.total_delivered_bytes(),
+        energy_per_bit_joules=stats.energy_per_delivered_bit(),
+        goodput_bps=(sum(flow_goodputs.values()) / len(flow_goodputs)) if flow_goodputs else 0.0,
+        aggregate_goodput_bps=stats.aggregate_goodput_bps(duration),
+        delivered_fraction=(sum(delivered_fractions) / len(delivered_fractions)) if delivered_fractions else 0.0,
+        source_retransmissions=stats.total_source_retransmissions(),
+        cache_recoveries=stats.total_cache_recoveries(),
+        queue_drops=network.total_queue_drops(),
+        routing_drops=stats.routing_drops,
+        link_transmissions=stats.link_transmissions,
+        acks_sent=sum(f.stats.acks_sent for f in flows),
+        ack_bytes=sum(f.stats.ack_bytes_sent for f in flows),
+        fairness=jains_fairness_index(list(flow_goodputs.values())),
+        per_node_energy=stats.per_node_energy(),
+        per_flow_goodput=flow_goodputs,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module turns lists of row dictionaries into aligned text
+tables so a bench run reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` (dicts) as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Sequence[tuple], label: str = "value", max_points: int = 20) -> str:
+    """Render a (time, value) series compactly, sub-sampled to ``max_points``."""
+    if not series:
+        return f"{label}: (empty series)"
+    step = max(1, len(series) // max_points)
+    sampled = list(series)[::step]
+    points = ", ".join(f"{t:.0f}s={_fmt(v)}" for t, v in sampled)
+    return f"{label}: {points}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

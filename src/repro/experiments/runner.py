@@ -1,0 +1,78 @@
+"""Replication and aggregation.
+
+The paper averages its linear-topology results over twenty independent
+runs (and its random-topology results over ten) and reports 95%
+confidence intervals.  :func:`replicate` runs a scenario builder over a
+list of seeds and :func:`average_metrics` /
+:func:`confidence_interval` aggregate the resulting metric values.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.experiments.metrics import ScenarioMetrics
+from repro.experiments.scenarios import ScenarioResult
+
+#: Two-sided 95% critical values of Student's t distribution, indexed by
+#: degrees of freedom (df = n - 1).  Only small sample counts are used
+#: by the harness; larger counts fall back to the normal value 1.96.
+_T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 14: 2.145, 19: 2.093}
+
+
+def replicate(
+    builder: Callable[[int], ScenarioResult],
+    seeds: Sequence[int],
+) -> List[ScenarioResult]:
+    """Run ``builder(seed)`` for every seed and return all results."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    return [builder(seed) for seed in seeds]
+
+
+def metric_values(results: Iterable[ScenarioResult], attribute: str) -> List[float]:
+    """Extract one metric attribute from each result."""
+    values = []
+    for result in results:
+        value = getattr(result.metrics, attribute)
+        values.append(float(value))
+    return values
+
+
+def average_metrics(results: Sequence[ScenarioResult], attributes: Sequence[str]) -> Dict[str, float]:
+    """Mean of the named metric attributes across replicated runs."""
+    if not results:
+        raise ValueError("no results to average")
+    return {attr: statistics.fmean(metric_values(results, attr)) for attr in attributes}
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> float:
+    """Half-width of the two-sided confidence interval around the mean.
+
+    Only the 95% level is supported (the level the paper plots); a
+    single sample has no spread and returns 0.
+    """
+    if abs(confidence - 0.95) > 1e-9:
+        raise ValueError("only 95% confidence intervals are supported")
+    n = len(values)
+    if n < 2:
+        return 0.0
+    df = n - 1
+    critical = _T_95.get(df, 1.96 if df > 19 else _T_95[min(k for k in _T_95 if k >= df)])
+    stdev = statistics.stdev(values)
+    return critical * stdev / math.sqrt(n)
+
+
+def summarize(results: Sequence[ScenarioResult], attribute: str) -> Dict[str, float]:
+    """Mean and 95% CI half-width of one metric across replications."""
+    values = metric_values(results, attribute)
+    return {
+        "mean": statistics.fmean(values),
+        "ci95": confidence_interval(values),
+        "min": min(values),
+        "max": max(values),
+        "n": len(values),
+    }

@@ -1,0 +1,315 @@
+"""TDMA-style media access.
+
+The JAVeLEN MAC gives each node a pseudo-random, collision-free slot
+schedule and turns the radio off outside those slots.  For the purposes
+of the transport-layer study we model the consequences of that design
+rather than the slot assignment algorithm itself:
+
+* each node owns a configurable **share** of the channel
+  (``slot_share``), so its maximum service rate is
+  ``slot_share * datarate / packet_airtime``;
+* transmissions from different nodes never collide — losses come only
+  from the channel's per-link loss process;
+* each packet is given a bounded number of transmission attempts,
+  either the MAC default or a per-packet value installed by iJTP;
+* the MAC exposes per-link loss-rate / available-rate / average-attempt
+  estimates, which is the exact interface the paper says JTP requires
+  from any underlying architecture.
+
+Upper layers hook into the MAC through two hook lists mirroring the
+paper's Algorithms 1 and 2:
+
+* ``pre_transmit_hooks`` run exactly before a packet's first
+  transmission on a link (iJTP's ``PreXmit``); returning ``False``
+  drops the packet;
+* ``post_receive_hooks`` run exactly after a packet is received from
+  the physical layer (iJTP's ``PostRcv``); returning ``False`` consumes
+  the packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mac.arq import ArqOutcome, ArqPolicy
+from repro.mac.energy import RadioEnergyModel
+from repro.mac.link_estimator import LinkEstimator
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.queue import DropTailQueue
+from repro.sim.stats import NetworkStats
+from repro.sim.trace import TraceRecorder
+from repro.util.ewma import WindowedRate
+from repro.util.units import bits_from_bytes
+from repro.util.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Static configuration of a node's MAC."""
+
+    energy: RadioEnergyModel = field(default_factory=RadioEnergyModel)
+    arq: ArqPolicy = field(default_factory=ArqPolicy)
+    slot_share: float = 0.25
+    guard_time: float = 0.002
+    queue_capacity: int = 50
+    reference_packet_bytes: float = 828.0
+    estimator_window: float = 5.0
+    loss_alpha: float = 0.1
+    attempts_alpha: float = 0.2
+    min_available_rate_pps: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_in_range(self.slot_share, 0.01, 1.0, "slot_share")
+        require_positive(self.queue_capacity, "queue_capacity")
+        require_positive(self.reference_packet_bytes, "reference_packet_bytes")
+        require_positive(self.estimator_window, "estimator_window")
+
+    @property
+    def nominal_rate_pps(self) -> float:
+        """Maximum packets per second this node can emit given its slot share."""
+        airtime = self.energy.airtime(bits_from_bytes(self.reference_packet_bytes))
+        return self.slot_share / (airtime + self.guard_time)
+
+
+@dataclass(frozen=True)
+class LinkContext:
+    """Snapshot of link state handed to pre-transmit hooks (iJTP PreXmit)."""
+
+    neighbor: int
+    now: float
+    loss_rate: float
+    available_rate_pps: float
+    average_attempts: float
+    remaining_hops: Optional[int] = None
+
+
+# Hook signatures:
+#   pre-transmit:  hook(packet, LinkContext) -> bool   (False drops the packet)
+#   post-receive:  hook(packet, mac) -> bool            (False consumes the packet)
+PreTransmitHook = Callable[[object, LinkContext], bool]
+PostReceiveHook = Callable[[object, "TdmaMac"], bool]
+
+
+class TdmaMac:
+    """One node's MAC instance."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        channel: Channel,
+        stats: NetworkStats,
+        config: Optional[MacConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.channel = channel
+        self.stats = stats
+        self.config = config or MacConfig()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        self.queue: DropTailQueue[Tuple[object, int]] = DropTailQueue(self.config.queue_capacity)
+        self.pre_transmit_hooks: List[PreTransmitHook] = []
+        self.post_receive_hooks: List[PostReceiveHook] = []
+
+        # Set by the Node / Network wiring.
+        self.deliver_upstream: Optional[Callable[[object, int], None]] = None
+        self.deliver_to_peer: Optional[Callable[[int, object, int], None]] = None
+        self.on_packet_dropped: Optional[Callable[[object, str], None]] = None
+
+        self._estimators: Dict[int, LinkEstimator] = {}
+        self._node_tx_rate = WindowedRate(self.config.estimator_window)
+        self._busy = False
+        self._energy_meter = stats.register_node(node_id)
+
+    # -- link estimation --------------------------------------------------------------
+
+    def link_estimator(self, neighbor: int) -> LinkEstimator:
+        """Return (creating if needed) the estimator for the link to ``neighbor``."""
+        if neighbor not in self._estimators:
+            self._estimators[neighbor] = LinkEstimator(
+                neighbor,
+                loss_alpha=self.config.loss_alpha,
+                attempts_alpha=self.config.attempts_alpha,
+                rate_window=self.config.estimator_window,
+                initial_loss=self.channel.average_loss_probability(self.node_id, neighbor),
+            )
+        return self._estimators[neighbor]
+
+    def link_loss_rate(self, neighbor: int) -> float:
+        """Estimated per-attempt loss rate towards ``neighbor``."""
+        return self.link_estimator(neighbor).loss_rate
+
+    def average_attempts(self, neighbor: int) -> float:
+        """Estimated average link-layer attempts per packet towards ``neighbor``."""
+        return self.link_estimator(neighbor).average_attempts
+
+    def available_rate_pps(self, neighbor: int) -> float:
+        """Available transmission rate towards ``neighbor``, in packets/second.
+
+        In the JAVeLEN TDMA MAC this is the rate of unused slots during
+        which the neighbour is awake.  We approximate it as the node's
+        nominal slot-share rate minus its measured transmission-attempt
+        rate, scaled down by the MAC queue occupancy (a backlogged queue
+        means there is no spare capacity regardless of what the slot
+        arithmetic says), and floored at a small positive value so the
+        flow controller never receives a zero and stalls permanently.
+        """
+        used = self._node_tx_rate.rate(self.sim.now)
+        available = self.config.nominal_rate_pps - used
+        backlog_fraction = len(self.queue) / self.queue.capacity
+        available *= max(0.0, 1.0 - backlog_fraction)
+        return max(self.config.min_available_rate_pps, available)
+
+    def link_context(self, neighbor: int, remaining_hops: Optional[int] = None) -> LinkContext:
+        """Build the link-state snapshot handed to pre-transmit hooks."""
+        return LinkContext(
+            neighbor=neighbor,
+            now=self.sim.now,
+            loss_rate=self.link_loss_rate(neighbor),
+            available_rate_pps=self.available_rate_pps(neighbor),
+            average_attempts=self.average_attempts(neighbor),
+            remaining_hops=remaining_hops,
+        )
+
+    # -- transmit path ----------------------------------------------------------------
+
+    def enqueue(self, packet: object, next_hop: int) -> bool:
+        """Queue ``packet`` for transmission to ``next_hop``.
+
+        Returns False and counts a queue drop if the MAC queue is full.
+        """
+        accepted = self.queue.push((packet, next_hop))
+        if not accepted:
+            self.stats.record_queue_drop()
+            self._dropped(packet, "queue_full")
+            return False
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0.0, self._service_next)
+        return True
+
+    def _service_time(self, packet: object) -> float:
+        """Wall-clock time one transmission attempt occupies for this node.
+
+        The airtime is scaled by the inverse of the node's slot share:
+        a node owning 25% of the slots needs four slot periods of wall
+        clock to get one packet's worth of airtime.
+        """
+        nbits = self._packet_bits(packet)
+        airtime = self.config.energy.airtime(nbits) + self.config.guard_time
+        return airtime / self.config.slot_share
+
+    @staticmethod
+    def _packet_bits(packet: object) -> float:
+        size_bits = getattr(packet, "size_bits", None)
+        if size_bits is None:
+            raise AttributeError("packets handled by the MAC must expose 'size_bits'")
+        return float(size_bits)
+
+    def _service_next(self) -> None:
+        entry = self.queue.pop()
+        if entry is None:
+            self._busy = False
+            return
+        packet, next_hop = entry
+        context = self.link_context(next_hop, remaining_hops=self._remaining_hops(packet))
+        for hook in self.pre_transmit_hooks:
+            if not hook(packet, context):
+                self._dropped(packet, "pre_transmit_hook")
+                self.sim.schedule(0.0, self._service_next)
+                return
+        attempts_allowed = self.config.arq.attempts_for(getattr(packet, "max_link_attempts", None))
+        self._attempt(packet, next_hop, attempt_no=1, attempts_allowed=attempts_allowed)
+
+    def _remaining_hops(self, packet: object) -> Optional[int]:
+        """Remaining-hop estimate for the packet, if a router callback was wired."""
+        hops_fn = getattr(self, "remaining_hops_fn", None)
+        if hops_fn is None:
+            return None
+        return hops_fn(packet)
+
+    def _attempt(self, packet: object, next_hop: int, attempt_no: int, attempts_allowed: int) -> None:
+        now = self.sim.now
+        nbits = self._packet_bits(packet)
+        tx_energy = self.config.energy.transmit_energy(nbits)
+        flow_id = getattr(packet, "flow_id", -1)
+
+        self._energy_meter.record_tx(flow_id, tx_energy)
+        self._charge_packet_energy(packet, tx_energy)
+        self._node_tx_rate.record(now, 1.0)
+
+        estimator = self.link_estimator(next_hop)
+        success = self.channel.transmission_succeeds(self.node_id, next_hop, now)
+        estimator.record_attempt(success, now)
+        self.stats.record_link_attempt(success)
+        self.trace.record(
+            "mac_attempt",
+            now,
+            node=self.node_id,
+            neighbor=next_hop,
+            flow=flow_id,
+            attempt=attempt_no,
+            allowed=attempts_allowed,
+            success=success,
+        )
+
+        service_time = self._service_time(packet)
+        if success:
+            estimator.record_packet(attempt_no, delivered=True)
+            rx_energy = self.config.energy.receive_energy(nbits)
+            self.stats.register_node(next_hop).record_rx(flow_id, rx_energy)
+            self._charge_packet_energy(packet, rx_energy)
+            self.sim.schedule(service_time, self._deliver, next_hop, packet)
+            self.sim.schedule(service_time, self._service_next)
+        elif attempt_no < attempts_allowed:
+            retry_delay = service_time + self.config.arq.retry_delay(service_time) - service_time
+            self.sim.schedule(service_time + retry_delay, self._attempt, packet, next_hop, attempt_no + 1, attempts_allowed)
+        else:
+            estimator.record_packet(attempt_no, delivered=False)
+            self._dropped(packet, "link_exhausted")
+            self.sim.schedule(service_time, self._service_next)
+
+    @staticmethod
+    def _charge_packet_energy(packet: object, joules: float) -> None:
+        """Accumulate energy into the packet header's energy-used field, if present."""
+        if hasattr(packet, "energy_used"):
+            packet.energy_used += joules
+
+    def _deliver(self, next_hop: int, packet: object) -> None:
+        if self.deliver_to_peer is None:
+            raise RuntimeError("MAC is not wired to the network (deliver_to_peer is None)")
+        self.deliver_to_peer(next_hop, packet, self.node_id)
+
+    def _dropped(self, packet: object, reason: str) -> None:
+        self.trace.record("mac_drop", self.sim.now, node=self.node_id, reason=reason,
+                          flow=getattr(packet, "flow_id", -1))
+        if self.on_packet_dropped is not None:
+            self.on_packet_dropped(packet, reason)
+
+    # -- receive path ------------------------------------------------------------------
+
+    def receive(self, packet: object, from_node: int) -> None:
+        """Called by the network when a frame from ``from_node`` arrives here."""
+        for hook in self.post_receive_hooks:
+            if not hook(packet, self):
+                return
+        if self.deliver_upstream is None:
+            raise RuntimeError("MAC is not wired to a node (deliver_upstream is None)")
+        self.deliver_upstream(packet, from_node)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def queue_drops(self) -> int:
+        """Packets dropped by this node's MAC queue."""
+        return self.queue.drops
+
+    def describe(self) -> str:
+        return (
+            f"TDMA MAC node={self.node_id} share={self.config.slot_share} "
+            f"nominal={self.config.nominal_rate_pps:.2f} pps"
+        )

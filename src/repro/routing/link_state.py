@@ -1,0 +1,111 @@
+"""Link-state routing with per-node, possibly stale views.
+
+Every node maintains its own copy of the topology, refreshed from the
+neighbour-discovery layer on a fixed period (plus on demand when the
+mobility model reports a position change, if the scenario wires that
+callback).  Between refreshes a node routes — and estimates remaining
+hop counts — using its stale view, which is how the paper's
+"topological views at different nodes are inconsistent" situation
+arises.  JTP's per-hop loss-tolerance update (Eq. 3) is specifically
+designed to keep the end-to-end reliability target even then.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.routing.dijkstra import next_hop_table, path_length, shortest_path
+from repro.routing.neighbor import NeighborTable
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.util.validation import require_positive
+
+
+class LinkStateRouting:
+    """Network-wide routing service with per-node topology views."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        sim: Simulator,
+        update_period: float = 10.0,
+        neighbor_refresh_period: float = 5.0,
+    ):
+        self.channel = channel
+        self.sim = sim
+        self.update_period = require_positive(update_period, "update_period")
+        self.neighbor_table = NeighborTable(channel, sim, refresh_period=neighbor_refresh_period)
+        self._views: Dict[int, Dict[int, Set[int]]] = {}
+        self._next_hop_tables: Dict[int, Dict[int, int]] = {}
+        self.view_updates = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Take initial snapshots and schedule periodic view refreshes."""
+        self.neighbor_table.start()
+        self.refresh_all_views()
+        self.sim.schedule(self.update_period, self._periodic_update)
+        self._started = True
+
+    def _periodic_update(self) -> None:
+        self.refresh_all_views()
+        self.sim.schedule(self.update_period, self._periodic_update)
+
+    def refresh_all_views(self) -> None:
+        """Give every node a fresh copy of the currently-known topology.
+
+        The known topology is the neighbour table's snapshot, which may
+        itself lag the ground truth; two layers of staleness compound
+        under mobility, just as in a real link-state deployment.
+        """
+        self.neighbor_table.refresh()
+        snapshot = self.neighbor_table.snapshot()
+        for node_id in range(self.channel.num_nodes):
+            self._views[node_id] = {k: set(v) for k, v in snapshot.items()}
+            self._next_hop_tables[node_id] = next_hop_table(snapshot, node_id)
+        self.view_updates += 1
+
+    def on_topology_change(self) -> None:
+        """Callback for mobility: mark views as refreshable at next period.
+
+        Deliberately does nothing immediately — a real link-state
+        protocol needs time to flood updated LSAs, so the view only
+        catches up at the next periodic refresh.  Scenarios that want
+        instant convergence can call :meth:`refresh_all_views` instead.
+        """
+
+    # -- queries used by forwarding and by iJTP ------------------------------------------
+
+    def view_of(self, node_id: int) -> Dict[int, Set[int]]:
+        """The topology as ``node_id`` currently believes it to be."""
+        if node_id not in self._views:
+            self.refresh_all_views()
+        return self._views[node_id]
+
+    def next_hop(self, node_id: int, destination: int) -> Optional[int]:
+        """Next hop from ``node_id`` towards ``destination`` (or None)."""
+        if node_id == destination:
+            return destination
+        if node_id not in self._next_hop_tables:
+            self.refresh_all_views()
+        return self._next_hop_tables[node_id].get(destination)
+
+    def hops_to(self, node_id: int, destination: int) -> Optional[int]:
+        """Remaining hop count from ``node_id`` to ``destination`` per its view."""
+        if node_id == destination:
+            return 0
+        return path_length(self.view_of(node_id), node_id, destination)
+
+    def route(self, source: int, destination: int) -> Optional[List[int]]:
+        """Full path from ``source`` to ``destination`` per the source's view."""
+        return shortest_path(self.view_of(source), source, destination)
+
+    def is_reachable(self, source: int, destination: int) -> bool:
+        """Whether ``source`` currently believes it can reach ``destination``."""
+        return self.next_hop(source, destination) is not None
+
+    def true_hops(self, source: int, destination: int) -> Optional[int]:
+        """Hop count on the *actual* current topology (ground truth, for tests)."""
+        return path_length(self.channel.connectivity(), source, destination)

@@ -1,0 +1,66 @@
+"""Neighbour discovery.
+
+A node's neighbour set is the set of nodes it can currently hear.  Real
+systems discover this with periodic hello beacons; here the table is
+refreshed from the channel's ground truth at a configurable period, so
+that under mobility a node's neighbour knowledge (and therefore its
+topology view) can lag reality — exactly the "possibly inaccurate view"
+the paper attributes to the JAVeLEN routing layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.util.validation import require_positive
+
+
+class NeighborTable:
+    """Per-node neighbour sets refreshed on a fixed period."""
+
+    def __init__(self, channel: Channel, sim: Simulator, refresh_period: float = 5.0):
+        self.channel = channel
+        self.sim = sim
+        self.refresh_period = require_positive(refresh_period, "refresh_period")
+        self._neighbors: Dict[int, Set[int]] = {}
+        self._last_refresh: Optional[float] = None
+        self.refresh_count = 0
+
+    def start(self) -> None:
+        """Take an initial snapshot and schedule periodic refreshes."""
+        self.refresh()
+        self.sim.schedule(self.refresh_period, self._periodic_refresh)
+
+    def _periodic_refresh(self) -> None:
+        self.refresh()
+        self.sim.schedule(self.refresh_period, self._periodic_refresh)
+
+    def refresh(self) -> None:
+        """Snapshot the true connectivity right now."""
+        self._neighbors = {
+            node_id: self.channel.neighbors_of(node_id)
+            for node_id in range(self.channel.num_nodes)
+        }
+        self._last_refresh = self.sim.now
+        self.refresh_count += 1
+
+    def neighbors_of(self, node_id: int) -> Set[int]:
+        """The (possibly stale) neighbour set of ``node_id``."""
+        if self._last_refresh is None:
+            self.refresh()
+        return set(self._neighbors.get(node_id, set()))
+
+    def snapshot(self) -> Dict[int, Set[int]]:
+        """The whole (possibly stale) connectivity graph."""
+        if self._last_refresh is None:
+            self.refresh()
+        return {node: set(neigh) for node, neigh in self._neighbors.items()}
+
+    @property
+    def age(self) -> float:
+        """Seconds since the last refresh."""
+        if self._last_refresh is None:
+            return float("inf")
+        return self.sim.now - self._last_refresh

@@ -1,0 +1,61 @@
+"""Discrete-event wireless network simulator.
+
+This package is the reproduction's substitute for the OPNET simulation
+environment used in the paper.  It provides:
+
+* :mod:`repro.sim.engine` — the event scheduler and simulation clock,
+* :mod:`repro.sim.random` — named, independently seeded random streams,
+* :mod:`repro.sim.topology` — linear / grid / random node placements,
+* :mod:`repro.sim.channel` — distance-based connectivity with a
+  Gilbert–Elliott good/bad loss process per link,
+* :mod:`repro.sim.mobility` — the random-waypoint mobility model,
+* :mod:`repro.sim.queue` — drop-tail packet queues,
+* :mod:`repro.sim.node` / :mod:`repro.sim.network` — the layered node
+  model and the network builder,
+* :mod:`repro.sim.stats` — energy, goodput and drop accounting,
+* :mod:`repro.sim.trace` — optional event tracing for time-series plots.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.channel import Channel, GilbertElliottLink, LinkQuality
+from repro.sim.topology import (
+    Position,
+    linear_positions,
+    grid_positions,
+    random_positions,
+    connectivity_graph,
+    is_connected,
+)
+from repro.sim.mobility import RandomWaypointMobility, StaticMobility
+from repro.sim.queue import DropTailQueue
+from repro.sim.node import Node
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.stats import EnergyMeter, FlowStats, NetworkStats
+from repro.sim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "Channel",
+    "GilbertElliottLink",
+    "LinkQuality",
+    "Position",
+    "linear_positions",
+    "grid_positions",
+    "random_positions",
+    "connectivity_graph",
+    "is_connected",
+    "RandomWaypointMobility",
+    "StaticMobility",
+    "DropTailQueue",
+    "Node",
+    "Network",
+    "NetworkConfig",
+    "EnergyMeter",
+    "FlowStats",
+    "NetworkStats",
+    "TraceRecorder",
+    "TraceEvent",
+]

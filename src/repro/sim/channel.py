@@ -1,0 +1,213 @@
+"""Wireless channel model.
+
+The paper's linear-topology experiments state: *"To capture the varying
+quality of wireless links, the value of the average pathloss of each
+link alternates between a good state (low loss) and a bad state (high
+loss).  Each link is in bad state approximately 10% of the time.  The
+average duration of the bad period is 3 seconds."*
+
+That is a textbook Gilbert–Elliott two-state model, which this module
+implements per directed link.  The channel also answers connectivity
+queries (who can hear whom, given positions and radio range), which the
+routing protocol and the MAC use.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.sim.topology import Position, connectivity_graph
+from repro.util.validation import require_positive, require_probability
+
+
+@dataclass
+class LinkQuality:
+    """Loss parameters for the two Gilbert–Elliott states of a link."""
+
+    good_loss: float = 0.02
+    bad_loss: float = 0.5
+    bad_fraction: float = 0.1
+    mean_bad_duration: float = 3.0
+
+    def __post_init__(self) -> None:
+        require_probability(self.good_loss, "good_loss")
+        require_probability(self.bad_loss, "bad_loss")
+        require_probability(self.bad_fraction, "bad_fraction")
+        require_positive(self.mean_bad_duration, "mean_bad_duration")
+        if self.bad_fraction >= 1.0:
+            raise ValueError("bad_fraction must be < 1")
+
+    @property
+    def mean_good_duration(self) -> float:
+        """Mean dwell time in the good state implied by the bad fraction."""
+        if self.bad_fraction == 0.0:
+            return math.inf
+        return self.mean_bad_duration * (1.0 - self.bad_fraction) / self.bad_fraction
+
+    @property
+    def average_loss(self) -> float:
+        """Long-run average per-transmission loss probability."""
+        return (1.0 - self.bad_fraction) * self.good_loss + self.bad_fraction * self.bad_loss
+
+    @classmethod
+    def perfect(cls) -> "LinkQuality":
+        """A loss-free link (useful in unit tests)."""
+        return cls(good_loss=0.0, bad_loss=0.0, bad_fraction=0.0)
+
+    @classmethod
+    def stable(cls, loss: float = 0.01) -> "LinkQuality":
+        """A stable, low-loss link like the indoor testbed of Table 2."""
+        return cls(good_loss=loss, bad_loss=loss, bad_fraction=0.0)
+
+
+class GilbertElliottLink:
+    """Per-link two-state loss process.
+
+    State dwell times are exponential with the configured means.  State
+    transitions are evaluated lazily: the link advances its state
+    machine only when queried, so idle links cost nothing.
+    """
+
+    GOOD = "good"
+    BAD = "bad"
+
+    def __init__(self, quality: LinkQuality, rng: random.Random, start_time: float = 0.0):
+        self.quality = quality
+        self._rng = rng
+        self._state = self.GOOD
+        if quality.bad_fraction > 0 and rng.random() < quality.bad_fraction:
+            self._state = self.BAD
+        self._state_until = start_time + self._sample_dwell(self._state)
+
+    def _sample_dwell(self, state: str) -> float:
+        mean = (
+            self.quality.mean_bad_duration
+            if state == self.BAD
+            else self.quality.mean_good_duration
+        )
+        if math.isinf(mean):
+            return math.inf
+        return self._rng.expovariate(1.0 / mean)
+
+    def _advance(self, now: float) -> None:
+        while now >= self._state_until:
+            self._state = self.BAD if self._state == self.GOOD else self.GOOD
+            self._state_until += self._sample_dwell(self._state)
+
+    def state(self, now: float) -> str:
+        """The link state ('good' or 'bad') at time ``now``."""
+        self._advance(now)
+        return self._state
+
+    def loss_probability(self, now: float) -> float:
+        """Per-transmission loss probability at time ``now``."""
+        self._advance(now)
+        return self.quality.bad_loss if self._state == self.BAD else self.quality.good_loss
+
+    def transmission_succeeds(self, now: float) -> bool:
+        """Sample one transmission attempt outcome at time ``now``."""
+        return self._rng.random() >= self.loss_probability(now)
+
+
+class Channel:
+    """The shared wireless medium.
+
+    Responsibilities:
+
+    * maintain node positions (updated by the mobility model),
+    * answer connectivity queries from the routing layer,
+    * hold one :class:`GilbertElliottLink` per directed link and decide
+      the outcome of each MAC transmission attempt,
+    * report the *true* instantaneous loss probability of a link, which
+      the MAC link estimator only ever sees through noisy measurements.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[Position],
+        radio_range: float,
+        rng: random.Random,
+        default_quality: Optional[LinkQuality] = None,
+    ):
+        self.radio_range = require_positive(radio_range, "radio_range")
+        self._positions: Dict[int, Position] = dict(enumerate(positions))
+        self._rng = rng
+        self.default_quality = default_quality or LinkQuality()
+        self._links: Dict[Tuple[int, int], GilbertElliottLink] = {}
+        self._qualities: Dict[Tuple[int, int], LinkQuality] = {}
+
+    # -- positions and connectivity -------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._positions)
+
+    def position_of(self, node_id: int) -> Position:
+        return self._positions[node_id]
+
+    def set_position(self, node_id: int, position: Position) -> None:
+        """Move a node (called by the mobility model)."""
+        if node_id not in self._positions:
+            raise KeyError(f"unknown node {node_id}")
+        self._positions[node_id] = position
+
+    def in_range(self, src: int, dst: int) -> bool:
+        """True iff ``dst`` can currently hear ``src``."""
+        if src == dst:
+            return False
+        return self._positions[src].distance_to(self._positions[dst]) <= self.radio_range
+
+    def neighbors_of(self, node_id: int) -> Set[int]:
+        """All nodes currently within radio range of ``node_id``."""
+        return {
+            other
+            for other in self._positions
+            if other != node_id and self.in_range(node_id, other)
+        }
+
+    def connectivity(self) -> Dict[int, Set[int]]:
+        """Current unit-disk connectivity graph."""
+        ordered = [self._positions[i] for i in sorted(self._positions)]
+        return connectivity_graph(ordered, self.radio_range)
+
+    # -- link quality ----------------------------------------------------------------
+
+    def set_link_quality(self, src: int, dst: int, quality: LinkQuality, symmetric: bool = True) -> None:
+        """Override the loss model of one (or both directions of a) link."""
+        self._qualities[(src, dst)] = quality
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._qualities[(dst, src)] = quality
+            self._links.pop((dst, src), None)
+
+    def _link(self, src: int, dst: int, now: float) -> GilbertElliottLink:
+        key = (src, dst)
+        if key not in self._links:
+            quality = self._qualities.get(key, self.default_quality)
+            stream = random.Random(self._rng.getrandbits(64))
+            self._links[key] = GilbertElliottLink(quality, stream, start_time=now)
+        return self._links[key]
+
+    def loss_probability(self, src: int, dst: int, now: float) -> float:
+        """True per-attempt loss probability of the directed link right now.
+
+        Returns 1.0 if the nodes are out of range (every attempt fails),
+        which is how mobility-induced route breakage manifests.
+        """
+        if not self.in_range(src, dst):
+            return 1.0
+        return self._link(src, dst, now).loss_probability(now)
+
+    def average_loss_probability(self, src: int, dst: int) -> float:
+        """Long-run average loss of the directed link (ignores range)."""
+        quality = self._qualities.get((src, dst), self.default_quality)
+        return quality.average_loss
+
+    def transmission_succeeds(self, src: int, dst: int, now: float) -> bool:
+        """Decide the fate of a single MAC transmission attempt."""
+        if not self.in_range(src, dst):
+            return False
+        return self._link(src, dst, now).transmission_succeeds(now)

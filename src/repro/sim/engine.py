@@ -1,0 +1,134 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events
+are ``(time, sequence, callback)`` triples; the monotonically growing
+sequence number guarantees deterministic FIFO ordering of simultaneous
+events, which in turn makes every experiment in the reproduction
+repeatable from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` so that the
+    caller can cancel them later (timers that get superseded, feedback
+    that is preempted by an early trigger, and so on).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple, kwargs: dict):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} {getattr(self.callback, '__name__', self.callback)}>"
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, node.wake_up)
+        sim.run(until=2500.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events that have been executed."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` to run at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} which is before now={self._now}")
+        event = Event(time, next(self._seq), callback, args, kwargs)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been executed.
+
+        Returns the number of events processed by this call.  When
+        ``until`` is given the clock is advanced to exactly ``until`` at
+        the end of the run even if the queue drained earlier, so that
+        rate meters read a consistent "end of experiment" time.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args, **event.kwargs)
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return processed
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(until=None, max_events=max_events)

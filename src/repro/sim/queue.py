@@ -1,0 +1,106 @@
+"""Drop-tail packet queues.
+
+Every node's MAC holds its outgoing transport packets in a bounded
+drop-tail queue.  Queue drops are a first-class metric of the paper:
+Figure 7(b) plots "the total number of packet drops in the queues of
+the system" as a function of feedback rate, showing that slow feedback
+lets the long-lived sender overrun intermediate queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+from repro.util.validation import require_positive
+
+T = TypeVar("T")
+
+
+class DropTailQueue(Generic[T]):
+    """A bounded FIFO queue that drops arrivals when full."""
+
+    def __init__(self, capacity: int = 50):
+        self.capacity = int(require_positive(capacity, "capacity"))
+        self._items: Deque[T] = deque()
+        self._drops = 0
+        self._enqueued = 0
+        self._dequeued = 0
+        self._high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def drops(self) -> int:
+        """Number of arrivals rejected because the queue was full."""
+        return self._drops
+
+    @property
+    def enqueued(self) -> int:
+        """Number of arrivals accepted."""
+        return self._enqueued
+
+    @property
+    def dequeued(self) -> int:
+        """Number of items removed for service."""
+        return self._dequeued
+
+    @property
+    def high_watermark(self) -> int:
+        """Maximum occupancy ever observed."""
+        return self._high_watermark
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> bool:
+        """Append ``item``; returns False (and counts a drop) if full."""
+        if self.is_full():
+            self._drops += 1
+            return False
+        self._items.append(item)
+        self._enqueued += 1
+        self._high_watermark = max(self._high_watermark, len(self._items))
+        return True
+
+    def push_front(self, item: T) -> bool:
+        """Prepend ``item`` (used to re-queue a preempted head-of-line packet)."""
+        if self.is_full():
+            self._drops += 1
+            return False
+        self._items.appendleft(item)
+        self._enqueued += 1
+        self._high_watermark = max(self._high_watermark, len(self._items))
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Remove and return the head of the queue, or None if empty."""
+        if not self._items:
+            return None
+        self._dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """Return (without removing) the head of the queue, or None if empty."""
+        return self._items[0] if self._items else None
+
+    def drain(self) -> List[T]:
+        """Remove and return all queued items in order."""
+        items = list(self._items)
+        self._dequeued += len(items)
+        self._items.clear()
+        return items
+
+    def remove_if(self, predicate) -> int:
+        """Remove all items matching ``predicate``; returns how many were removed."""
+        kept = [item for item in self._items if not predicate(item)]
+        removed = len(self._items) - len(kept)
+        self._items = deque(kept)
+        return removed

@@ -1,0 +1,68 @@
+"""Lightweight event tracing.
+
+Some of the paper's figures are time series of internal protocol state
+rather than end-of-run aggregates — for example Figure 3(c) plots the
+maximum number of link-layer retransmissions chosen by iJTP at the
+third node over time, and Figure 8 plots the flip-flop monitor's
+reported and averaged available rate.  The :class:`TraceRecorder` lets
+any component emit typed trace events without knowing what the
+experiment will later do with them; recording is off by default so
+ordinary runs pay no cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a type tag, a timestamp and free-form fields."""
+
+    kind: str
+    time: float
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects when enabled."""
+
+    def __init__(self, enabled: bool = False, kinds: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self._kinds = set(kinds) if kinds is not None else None
+        self._events: List[TraceEvent] = []
+
+    def record(self, kind: str, time: float, **fields: Any) -> None:
+        """Record an event if tracing is enabled (and the kind is selected)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._events.append(TraceEvent(kind=kind, time=time, fields=dict(fields)))
+
+    def events(self, kind: Optional[str] = None, **filters: Any) -> List[TraceEvent]:
+        """All recorded events, optionally filtered by kind and field values."""
+        result = self._events
+        if kind is not None:
+            result = [e for e in result if e.kind == kind]
+        for key, value in filters.items():
+            result = [e for e in result if e.get(key) == value]
+        return list(result)
+
+    def series(self, kind: str, value_field: str, **filters: Any) -> List[tuple]:
+        """Return ``(time, value)`` pairs for a given event kind and field."""
+        return [(e.time, e[value_field]) for e in self.events(kind, **filters)]
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,40 @@
+"""Transport protocols: JTP plus the paper's comparison baselines.
+
+Every protocol is wrapped in a :class:`~repro.transport.base.TransportProtocol`
+object with two responsibilities — install any per-node modules on a
+network, and create flows between node pairs — so the experiment
+harness can swap protocols without knowing anything about their
+internals.  The protocols provided are:
+
+* ``jtp``   — the paper's contribution (Sections 2-5),
+* ``jnc``   — JTP with in-network caching disabled (Section 4.1),
+* ``tcp``   — a rate-based TCP-SACK: sending rate from the Padhye
+  throughput equation, delayed ACKs, SACK-based loss recovery,
+* ``atp``   — an ATP-like protocol: explicit rate feedback collected by
+  intermediate nodes, constant-rate receiver feedback, end-to-end-only
+  recovery,
+* ``udp``   — an unreliable constant-rate sender.
+"""
+
+from repro.transport.base import FlowHandle, TransportProtocol
+from repro.transport.jtp import JTPProtocol
+from repro.transport.jnc import JNCProtocol
+from repro.transport.tcp_sack import TcpSackProtocol, TcpConfig
+from repro.transport.atp import AtpProtocol, AtpConfig
+from repro.transport.udp import UdpProtocol, UdpConfig
+from repro.transport.registry import make_protocol, available_protocols
+
+__all__ = [
+    "FlowHandle",
+    "TransportProtocol",
+    "JTPProtocol",
+    "JNCProtocol",
+    "TcpSackProtocol",
+    "TcpConfig",
+    "AtpProtocol",
+    "AtpConfig",
+    "UdpProtocol",
+    "UdpConfig",
+    "make_protocol",
+    "available_protocols",
+]

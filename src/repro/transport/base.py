@@ -1,0 +1,71 @@
+"""Common transport-protocol interface.
+
+The experiment harness treats every protocol identically:
+
+1. :meth:`TransportProtocol.install` is called once per network to set
+   up any per-node machinery (iJTP modules for JTP/JNC, the rate
+   stamping hook for ATP, nothing for TCP/UDP);
+2. :meth:`TransportProtocol.create_flow` is called once per transfer
+   and returns a :class:`FlowHandle` exposing the flow's statistics and
+   endpoints.
+
+This mirrors the paper's methodology of running the different protocols
+"under the same conditions in the same run": the substrate (topology,
+channel, MAC, routing) is built once and only the transport changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.network import Network
+from repro.sim.stats import FlowStats
+
+
+@dataclass
+class FlowHandle:
+    """A live transfer created by a protocol on a network."""
+
+    flow_id: int
+    src: int
+    dst: int
+    protocol: str
+    stats: FlowStats
+    sender: object
+    receiver: object
+
+    @property
+    def completed(self) -> bool:
+        """Whether the sender considers the transfer finished."""
+        return bool(getattr(self.sender, "completed", False))
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.stats.delivery_fraction()
+
+
+class TransportProtocol(abc.ABC):
+    """Factory interface every transport implementation provides."""
+
+    #: Short name used by the registry and in experiment output.
+    name: str = "abstract"
+
+    def install(self, network: Network) -> None:
+        """Install per-node modules on ``network`` (default: nothing to do)."""
+
+    @abc.abstractmethod
+    def create_flow(
+        self,
+        network: Network,
+        src: int,
+        dst: int,
+        transfer_bytes: float,
+        start_time: float = 0.0,
+        flow_id: Optional[int] = None,
+    ) -> FlowHandle:
+        """Create one transfer from ``src`` to ``dst`` on ``network``."""
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,32 @@
+"""JNC — JTP with No Caching (the Section 4.1 comparison point).
+
+JNC is exactly JTP except that no intermediate node caches packets, so
+every loss that exhausts its link-layer attempts must be repaired by an
+end-to-end retransmission from the source.  The analytic model of
+Section 4.1 predicts its cost is a factor ``(1 - p^n)^-(H-1)`` higher
+than JTP's, growing with path length; Figure 4 confirms this by
+simulation and also shows JNC concentrates energy expenditure on the
+nodes close to the source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import JTPConfig
+from repro.transport.jtp import JTPProtocol
+
+
+class JNCProtocol(JTPProtocol):
+    """JTP with in-network caching disabled."""
+
+    name = "jnc"
+
+    def __init__(self, config: Optional[JTPConfig] = None):
+        base = config or JTPConfig()
+        if base.caching_enabled:
+            base = base.variant(caching_enabled=False)
+        super().__init__(base)
+
+    def describe(self) -> str:
+        return f"jnc(loss_tolerance={self.config.loss_tolerance:.0%})"

@@ -1,0 +1,54 @@
+"""JTP wrapped in the common transport-protocol interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import JTPConfig
+from repro.core.connection import JTPConnection, ensure_ijtp_installed
+from repro.sim.network import Network
+from repro.transport.base import FlowHandle, TransportProtocol
+
+
+class JTPProtocol(TransportProtocol):
+    """The paper's protocol: receiver-driven, cache-assisted, energy-conscious."""
+
+    name = "jtp"
+
+    def __init__(self, config: Optional[JTPConfig] = None):
+        self.config = config or JTPConfig()
+
+    def install(self, network: Network) -> None:
+        """Install iJTP on every node (idempotent per network)."""
+        ensure_ijtp_installed(network, self.config)
+
+    def create_flow(
+        self,
+        network: Network,
+        src: int,
+        dst: int,
+        transfer_bytes: float,
+        start_time: float = 0.0,
+        flow_id: Optional[int] = None,
+    ) -> FlowHandle:
+        connection = JTPConnection(
+            network,
+            src,
+            dst,
+            transfer_bytes,
+            config=self.config,
+            flow_id=flow_id,
+            start_time=start_time,
+        )
+        return FlowHandle(
+            flow_id=connection.flow_id,
+            src=src,
+            dst=dst,
+            protocol=self.name,
+            stats=connection.flow_stats,
+            sender=connection.sender,
+            receiver=connection.receiver,
+        )
+
+    def describe(self) -> str:
+        return f"jtp(loss_tolerance={self.config.loss_tolerance:.0%})"

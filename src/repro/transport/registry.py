@@ -1,0 +1,58 @@
+"""Protocol registry.
+
+Experiments name protocols by short strings ("jtp", "jtp10", "jnc",
+"tcp", "atp", "udp"); the registry turns those names into configured
+:class:`~repro.transport.base.TransportProtocol` instances.  The
+``jtpNN`` shorthand creates a JTP protocol with NN percent loss
+tolerance, matching the paper's jtp0/jtp10/jtp20 labels.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.core.config import JTPConfig
+from repro.transport.atp import AtpConfig, AtpProtocol
+from repro.transport.base import TransportProtocol
+from repro.transport.jnc import JNCProtocol
+from repro.transport.jtp import JTPProtocol
+from repro.transport.tcp_sack import TcpConfig, TcpSackProtocol
+from repro.transport.udp import UdpConfig, UdpProtocol
+
+_JTP_WITH_TOLERANCE = re.compile(r"^(jtp|jnc)(\d{1,2})$")
+
+
+def available_protocols() -> List[str]:
+    """The protocol names the registry understands."""
+    return ["jtp", "jtp10", "jtp20", "jnc", "tcp", "atp", "udp"]
+
+
+def make_protocol(name: str, config: Optional[object] = None) -> TransportProtocol:
+    """Build a protocol instance from a short name.
+
+    ``config`` may be a :class:`JTPConfig`, :class:`TcpConfig`,
+    :class:`AtpConfig` or :class:`UdpConfig` matching the protocol; when
+    omitted, defaults are used.
+    """
+    key = name.strip().lower()
+
+    match = _JTP_WITH_TOLERANCE.match(key)
+    if match:
+        base, percent = match.group(1), int(match.group(2))
+        jtp_config = (config if isinstance(config, JTPConfig) else JTPConfig()).variant(
+            loss_tolerance=percent / 100.0
+        )
+        return JNCProtocol(jtp_config) if base == "jnc" else JTPProtocol(jtp_config)
+
+    if key == "jtp":
+        return JTPProtocol(config if isinstance(config, JTPConfig) else None)
+    if key == "jnc":
+        return JNCProtocol(config if isinstance(config, JTPConfig) else None)
+    if key == "tcp":
+        return TcpSackProtocol(config if isinstance(config, TcpConfig) else None)
+    if key == "atp":
+        return AtpProtocol(config if isinstance(config, AtpConfig) else None)
+    if key == "udp":
+        return UdpProtocol(config if isinstance(config, UdpConfig) else None)
+    raise ValueError(f"unknown protocol {name!r}; known: {available_protocols()}")

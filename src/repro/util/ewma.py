@@ -1,0 +1,101 @@
+"""Exponentially weighted moving averages and windowed rate meters.
+
+These are the two estimator primitives used throughout the system:
+the MAC link estimators, the ATP rate feedback and the JTP flip-flop
+path monitor are all built on top of :class:`EWMA`, while goodput and
+utilisation measurements use :class:`WindowedRate`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.util.validation import require_in_range, require_positive
+
+
+class EWMA:
+    """A simple exponentially weighted moving average.
+
+    ``x̄ ← (1 - α)·x̄ + α·x`` with the first sample initialising the
+    average, exactly as in Equation (7) of the paper.
+    """
+
+    def __init__(self, alpha: float, initial: Optional[float] = None):
+        self.alpha = require_in_range(alpha, 0.0, 1.0, "alpha")
+        self._value: Optional[float] = initial
+        self._count = 0 if initial is None else 1
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average, or ``None`` if no sample has been observed."""
+        return self._value
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded into the average."""
+        return self._count
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = (1.0 - self.alpha) * self._value + self.alpha * float(sample)
+        self._count += 1
+        return self._value
+
+    def reset(self, initial: Optional[float] = None) -> None:
+        """Discard all history, optionally re-seeding the average."""
+        self._value = initial
+        self._count = 0 if initial is None else 1
+
+    def value_or(self, default: float) -> float:
+        """Return the average, or ``default`` if no sample has been seen."""
+        return default if self._value is None else self._value
+
+
+class WindowedRate:
+    """Rate meter over a sliding time window.
+
+    Records ``(timestamp, amount)`` events and reports the total amount
+    per second over the last ``window`` seconds.  Used for goodput
+    measurement, MAC busy-fraction estimation and the short/long-term
+    reception-rate plots of Figure 5.
+    """
+
+    def __init__(self, window: float):
+        self.window = require_positive(window, "window")
+        self._events: Deque[Tuple[float, float]] = deque()
+        self._total = 0.0
+        self._cumulative = 0.0
+
+    def record(self, now: float, amount: float = 1.0) -> None:
+        """Record ``amount`` units occurring at time ``now``."""
+        self._events.append((now, amount))
+        self._total += amount
+        self._cumulative += amount
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Amount per second over the trailing window ending at ``now``."""
+        self._expire(now)
+        return self._total / self.window
+
+    def fraction(self, now: float) -> float:
+        """Amount divided by window length (for busy-time fractions)."""
+        return self.rate(now)
+
+    @property
+    def cumulative(self) -> float:
+        """Total amount recorded since construction (never expires)."""
+        return self._cumulative
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, amount = events.popleft()
+            self._total -= amount
+        if not events:
+            self._total = 0.0

@@ -1,0 +1,57 @@
+"""Unit helpers: bits, bytes, seconds and joules.
+
+The JTP paper reports energy either in joules, millijoules or
+micro-joules per bit depending on the figure, and packet sizes in
+bytes.  Keeping the conversions in one place avoids the classic
+factor-of-eight and factor-of-a-thousand mistakes.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+
+def bits_from_bytes(nbytes: float) -> float:
+    """Convert a byte count to a bit count."""
+    return float(nbytes) * BITS_PER_BYTE
+
+
+def bytes_from_bits(nbits: float) -> float:
+    """Convert a bit count to a byte count."""
+    return float(nbits) / BITS_PER_BYTE
+
+
+def joules_to_millijoules(joules: float) -> float:
+    """Convert joules to millijoules."""
+    return joules * 1e3
+
+
+def joules_to_microjoules(joules: float) -> float:
+    """Convert joules to microjoules."""
+    return joules * 1e6
+
+
+def transmission_time(nbits: float, datarate_bps: float) -> float:
+    """Time in seconds to clock ``nbits`` onto the air at ``datarate_bps``.
+
+    Raises ``ValueError`` for a non-positive data rate because a zero
+    rate would silently produce infinite transmission times and hang
+    the simulation.
+    """
+    if datarate_bps <= 0:
+        raise ValueError(f"datarate must be positive, got {datarate_bps}")
+    if nbits < 0:
+        raise ValueError(f"bit count must be non-negative, got {nbits}")
+    return nbits / datarate_bps
+
+
+def transmission_energy(nbits: float, power_watts: float, datarate_bps: float) -> float:
+    """Energy in joules to transmit (or receive) ``nbits``.
+
+    This is the model the paper's link-layer energy monitor uses: the
+    energy for a transport-layer packet is computed from the radio
+    power draw, the radio data rate and the packet length.
+    """
+    if power_watts < 0:
+        raise ValueError(f"power must be non-negative, got {power_watts}")
+    return power_watts * transmission_time(nbits, datarate_bps)

@@ -1,0 +1,43 @@
+"""Argument-validation helpers.
+
+Every public constructor in the library validates its inputs eagerly
+so that configuration mistakes surface at build time rather than as a
+silently wrong simulation result hours later.
+"""
+
+from __future__ import annotations
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if non-negative, otherwise raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Return ``value`` if it is a valid probability in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [low, high]."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"invalid clamp bounds: low={low} > high={high}")
+    return max(low, min(high, value))

@@ -1,0 +1,79 @@
+"""Analytic caching-gain model (Section 4.1, Equations 5-6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.analysis import (
+    caching_gain,
+    end_to_end_success_without_caching,
+    expected_link_transmissions_with_caching,
+    expected_link_transmissions_without_caching,
+    expected_transmissions_with_caching,
+    expected_transmissions_without_caching,
+)
+
+
+class TestWithCaching:
+    def test_equation5(self):
+        # k=100 packets, H=5 hops, p=0.2 -> 100*5/0.8 = 625
+        assert expected_transmissions_with_caching(100, 5, 0.2) == pytest.approx(625.0)
+
+    def test_lossless_is_one_per_hop(self):
+        assert expected_transmissions_with_caching(10, 3, 0.0) == 30.0
+
+    def test_total_loss_is_infinite(self):
+        assert expected_transmissions_with_caching(1, 1, 1.0) == float("inf")
+
+    def test_per_link_geometric_mean(self):
+        assert expected_link_transmissions_with_caching(0.5) == pytest.approx(2.0)
+
+
+class TestWithoutCaching:
+    def test_per_node_truncated_geometric(self):
+        # (1 - p^n)/(1 - p) with p=0.5, n=3 -> 0.875/0.5 = 1.75
+        assert expected_link_transmissions_without_caching(0.5, 3) == pytest.approx(1.75)
+
+    def test_single_hop_matches_caching_model(self):
+        """For H=1, Eq. 6 degenerates to Eq. 5 (the paper's observation)."""
+        with_cache = expected_transmissions_with_caching(50, 1, 0.3)
+        without = expected_transmissions_without_caching(50, 1, 0.3, attempts=50)
+        assert without == pytest.approx(with_cache, rel=1e-6)
+
+    def test_lossless_path(self):
+        assert expected_transmissions_without_caching(10, 4, 0.0, 5) == 40.0
+
+    def test_end_to_end_success(self):
+        assert end_to_end_success_without_caching(0.5, 1, 2) == pytest.approx(0.25)
+
+    def test_approximation_close_to_exact(self):
+        exact = expected_transmissions_without_caching(100, 6, 0.4, 3, exact=True)
+        approx = expected_transmissions_without_caching(100, 6, 0.4, 3, exact=False)
+        assert approx == pytest.approx(exact, rel=0.25)
+
+    @given(st.floats(min_value=0.05, max_value=0.7), st.integers(min_value=2, max_value=10),
+           st.integers(min_value=1, max_value=6))
+    def test_caching_never_costs_more(self, loss, hops, attempts):
+        """The central claim of Section 4.1: JNC cost >= JTP cost."""
+        with_cache = expected_transmissions_with_caching(1.0, hops, loss)
+        without = expected_transmissions_without_caching(1.0, hops, loss, attempts)
+        assert without >= with_cache - 1e-9
+
+
+class TestCachingGain:
+    def test_gain_formula(self):
+        # gain = (1 - p^n)^-(H-1)
+        assert caching_gain(5, 0.5, 2) == pytest.approx((1 - 0.25) ** -4)
+
+    def test_gain_grows_with_path_length(self):
+        gains = [caching_gain(h, 0.5, 3) for h in (2, 4, 6, 8)]
+        assert gains == sorted(gains)
+
+    def test_gain_grows_with_loss(self):
+        gains = [caching_gain(6, p, 3) for p in (0.1, 0.3, 0.5, 0.7)]
+        assert gains == sorted(gains)
+
+    def test_gain_is_one_for_single_hop(self):
+        assert caching_gain(1, 0.5, 3) == pytest.approx(1.0)
+
+    def test_gain_shrinks_with_more_attempts(self):
+        assert caching_gain(6, 0.5, 5) < caching_gain(6, 0.5, 2)

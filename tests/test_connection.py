@@ -1,0 +1,136 @@
+"""End-to-end JTP connections on small networks (eJTP sender + receiver + iJTP)."""
+
+import pytest
+
+from repro.core.config import JTPConfig
+from repro.core.connection import JTPConnection, ensure_ijtp_installed, open_transfer
+from repro.sim.channel import LinkQuality
+from repro.sim.network import Network
+
+
+def lossy_quality():
+    return LinkQuality(good_loss=0.1, bad_loss=0.5, bad_fraction=0.1, mean_bad_duration=3.0)
+
+
+class TestConnectionSetup:
+    def test_rejects_same_src_dst(self):
+        network = Network.linear(3, seed=0)
+        with pytest.raises(ValueError):
+            JTPConnection(network, 1, 1, 1000)
+
+    def test_rejects_bad_transfer_size(self):
+        network = Network.linear(3, seed=0)
+        with pytest.raises(ValueError):
+            JTPConnection(network, 0, 2, 0)
+
+    def test_flow_ids_unique(self):
+        network = Network.linear(3, seed=0)
+        a = JTPConnection(network, 0, 2, 1000)
+        b = JTPConnection(network, 2, 0, 1000)
+        assert a.flow_id != b.flow_id
+
+    def test_ensure_ijtp_installed_is_idempotent(self):
+        network = Network.linear(3, seed=0)
+        first = ensure_ijtp_installed(network)
+        second = ensure_ijtp_installed(network)
+        assert first is second
+        assert len(network.nodes[1].mac.pre_transmit_hooks) == 1
+
+    def test_describe(self):
+        network = Network.linear(3, seed=0)
+        connection = JTPConnection(network, 0, 2, 8000, config=JTPConfig.jtp10())
+        assert "10%" in connection.describe()
+
+
+class TestTransferCompletion:
+    def test_perfect_link_transfer_delivers_everything(self):
+        network = Network.linear(4, seed=1, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 0, 3, 40_000)
+        network.run(400)
+        assert connection.completed
+        assert connection.delivered_fraction == pytest.approx(1.0)
+        assert connection.flow_stats.source_retransmissions == 0
+
+    def test_lossy_path_still_completes_fully_reliable(self):
+        network = Network.linear(5, seed=2, link_quality=lossy_quality())
+        connection = open_transfer(network, 0, 4, 40_000)
+        network.run(800)
+        assert connection.completed
+        assert connection.delivered_fraction == pytest.approx(1.0)
+
+    def test_small_transfer_single_packet(self):
+        network = Network.linear(3, seed=3, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 0, 2, 100)
+        network.run(120)
+        assert connection.completed
+        assert connection.sender.total_packets == 1
+
+    def test_reverse_direction_transfer(self):
+        network = Network.linear(4, seed=4, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 3, 0, 20_000)
+        network.run(300)
+        assert connection.completed
+
+    def test_start_time_delays_transfer(self):
+        network = Network.linear(3, seed=5, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 0, 2, 8_000, start_time=100.0)
+        network.run(50)
+        assert connection.flow_stats.data_packets_sent == 0
+        network.run(300)
+        assert connection.completed
+        assert connection.flow_stats.start_time >= 100.0
+
+    def test_loss_tolerant_transfer_meets_requirement(self):
+        config = JTPConfig.jtp20()
+        network = Network.linear(5, seed=6, link_quality=lossy_quality())
+        connection = open_transfer(network, 0, 4, 60_000, config=config)
+        network.run(900)
+        assert connection.delivered_fraction >= 0.8
+
+    def test_energy_accounted_on_all_path_nodes(self):
+        network = Network.linear(5, seed=7, link_quality=LinkQuality.perfect())
+        open_transfer(network, 0, 4, 30_000)
+        network.run(400)
+        per_node = network.stats.per_node_energy()
+        assert all(per_node[node] > 0 for node in range(5))
+
+    def test_sender_backs_off_for_cache_recoveries(self):
+        network = Network.linear(6, seed=8,
+                                 link_quality=LinkQuality(good_loss=0.5, bad_loss=0.5, bad_fraction=0.0))
+        connection = open_transfer(network, 0, 5, 60_000)
+        network.run(1200)
+        stats = connection.flow_stats
+        if stats.cache_recoveries > 0:
+            assert stats.sender_backoffs > 0
+
+    def test_two_concurrent_connections_share_the_network(self):
+        network = Network.linear(5, seed=9, link_quality=LinkQuality.perfect())
+        a = open_transfer(network, 0, 4, 30_000)
+        b = open_transfer(network, 4, 0, 30_000, start_time=5.0)
+        network.run(600)
+        assert a.completed and b.completed
+
+
+class TestReceiverBehaviour:
+    def test_receiver_goes_quiet_after_transfer(self):
+        network = Network.linear(4, seed=10, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 0, 3, 20_000)
+        network.run(200)
+        acks_at_completion = connection.flow_stats.acks_sent
+        network.run(600)
+        assert connection.flow_stats.acks_sent <= acks_at_completion + connection.receiver.FINAL_FEEDBACKS
+
+    def test_feedback_period_respects_lower_bound(self):
+        config = JTPConfig(t_lower_bound=10.0)
+        network = Network.linear(4, seed=11, link_quality=LinkQuality.perfect())
+        connection = open_transfer(network, 0, 3, 60_000, config=config)
+        network.run(60)
+        # After 60 s at most ~6 regular feedbacks plus early ones can exist.
+        assert connection.flow_stats.acks_sent <= 10
+
+    def test_duplicates_do_not_inflate_delivered_bytes(self):
+        network = Network.linear(5, seed=12,
+                                 link_quality=LinkQuality(good_loss=0.4, bad_loss=0.4, bad_fraction=0.0))
+        connection = open_transfer(network, 0, 4, 40_000)
+        network.run(900)
+        assert connection.flow_stats.unique_bytes_delivered <= 40_000 + 1e-6

@@ -1,0 +1,89 @@
+"""Shortest-path routines, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.dijkstra import next_hop_table, path_length, shortest_path, shortest_path_tree
+from repro.sim.topology import connectivity_graph, random_positions
+
+
+LINE = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+SQUARE = {0: {1, 2}, 1: {0, 3}, 2: {0, 3}, 3: {1, 2}}
+
+
+def test_path_on_line():
+    assert shortest_path(LINE, 0, 3) == [0, 1, 2, 3]
+    assert path_length(LINE, 0, 3) == 3
+
+
+def test_path_to_self():
+    assert shortest_path(LINE, 2, 2) == [2]
+    assert path_length(LINE, 2, 2) == 0
+
+
+def test_unreachable_returns_none():
+    graph = {0: {1}, 1: {0}, 2: set()}
+    assert shortest_path(graph, 0, 2) is None
+    assert path_length(graph, 0, 2) is None
+
+
+def test_square_has_two_hop_diagonal():
+    assert path_length(SQUARE, 0, 3) == 2
+    path = shortest_path(SQUARE, 0, 3)
+    assert path[0] == 0 and path[-1] == 3 and len(path) == 3
+
+
+def test_shortest_path_tree_distances():
+    dist, prev = shortest_path_tree(LINE, 0)
+    assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+    assert prev[3] == 2
+
+
+def test_tree_unknown_source_rejected():
+    with pytest.raises(KeyError):
+        shortest_path_tree(LINE, 99)
+
+
+def test_next_hop_table_on_line():
+    table = next_hop_table(LINE, 0)
+    assert table == {1: 1, 2: 1, 3: 1}
+    table = next_hop_table(LINE, 2)
+    assert table[0] == 1 and table[3] == 3
+
+
+def test_next_hop_never_self_and_is_neighbor():
+    table = next_hop_table(SQUARE, 0)
+    for dst, hop in table.items():
+        assert hop != 0
+        assert hop in SQUARE[0]
+
+
+@given(st.integers(min_value=4, max_value=14), st.integers(min_value=0, max_value=500))
+def test_path_lengths_match_networkx(num_nodes, seed):
+    rng = random.Random(seed)
+    positions = random_positions(num_nodes, 120.0, rng)
+    graph = connectivity_graph(positions, radio_range=60.0)
+    reference = nx.Graph()
+    reference.add_nodes_from(graph)
+    for u, neighbors in graph.items():
+        for v in neighbors:
+            reference.add_edge(u, v)
+    lengths = dict(nx.shortest_path_length(reference, source=0))
+    for destination in graph:
+        ours = path_length(graph, 0, destination)
+        theirs = lengths.get(destination)
+        assert ours == theirs or (ours is None and theirs is None)
+
+
+def test_next_hop_leads_along_a_shortest_path():
+    rng = random.Random(5)
+    positions = random_positions(10, 100.0, rng)
+    graph = connectivity_graph(positions, radio_range=55.0)
+    table = next_hop_table(graph, 0)
+    for destination, hop in table.items():
+        full = path_length(graph, 0, destination)
+        via_hop = path_length(graph, hop, destination)
+        assert via_hop == full - 1

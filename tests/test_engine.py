@@ -1,0 +1,132 @@
+"""Discrete-event engine: ordering, cancellation, clock semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, order.append, name)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5, 4.25]
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == ["late"]
+
+
+def test_run_until_advances_clock_even_if_queue_empty():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(1.0, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    processed = sim.run(max_events=10)
+    assert processed == 10
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def bad():
+        sim.run()
+
+    sim.schedule(1.0, bad)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_kwargs_passed_to_callback():
+    sim = Simulator()
+    got = {}
+    sim.schedule(1.0, lambda **kw: got.update(kw), value=42)
+    sim.run()
+    assert got == {"value": 42}

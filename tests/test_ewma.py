@@ -1,0 +1,87 @@
+"""EWMA and windowed-rate estimators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.ewma import EWMA, WindowedRate
+
+
+class TestEWMA:
+    def test_first_sample_initialises(self):
+        ewma = EWMA(0.1)
+        assert ewma.value is None
+        assert ewma.update(10.0) == 10.0
+        assert ewma.value == 10.0
+
+    def test_update_formula(self):
+        ewma = EWMA(0.5, initial=10.0)
+        assert ewma.update(20.0) == pytest.approx(15.0)
+        assert ewma.update(20.0) == pytest.approx(17.5)
+
+    def test_count_tracks_samples(self):
+        ewma = EWMA(0.2)
+        for i in range(5):
+            ewma.update(i)
+        assert ewma.count == 5
+
+    def test_reset(self):
+        ewma = EWMA(0.2, initial=1.0)
+        ewma.update(5.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.count == 0
+
+    def test_value_or_default(self):
+        assert EWMA(0.5).value_or(7.0) == 7.0
+        assert EWMA(0.5, initial=3.0).value_or(7.0) == 3.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EWMA(1.5)
+        with pytest.raises(ValueError):
+            EWMA(-0.1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_ewma_stays_within_sample_range(self, samples, alpha):
+        """The average never escapes the [min, max] of observed samples."""
+        ewma = EWMA(alpha)
+        for sample in samples:
+            ewma.update(sample)
+        assert min(samples) - 1e-9 <= ewma.value <= max(samples) + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_constant_input_is_fixed_point(self, value):
+        ewma = EWMA(0.3)
+        for _ in range(10):
+            ewma.update(value)
+        assert ewma.value == pytest.approx(value)
+
+
+class TestWindowedRate:
+    def test_rate_over_window(self):
+        meter = WindowedRate(window=10.0)
+        for t in range(5):
+            meter.record(float(t), 2.0)
+        assert meter.rate(5.0) == pytest.approx(1.0)
+
+    def test_events_expire(self):
+        meter = WindowedRate(window=10.0)
+        meter.record(0.0, 5.0)
+        assert meter.rate(5.0) == pytest.approx(0.5)
+        assert meter.rate(20.0) == 0.0
+
+    def test_cumulative_never_expires(self):
+        meter = WindowedRate(window=1.0)
+        meter.record(0.0, 1.0)
+        meter.record(100.0, 2.0)
+        assert meter.cumulative == 3.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0.0)
+
+    def test_fraction_alias(self):
+        meter = WindowedRate(window=4.0)
+        meter.record(0.0, 2.0)
+        assert meter.fraction(0.0) == pytest.approx(0.5)

@@ -1,0 +1,105 @@
+"""Link-state routing and neighbour discovery, including stale views."""
+
+import random
+
+import pytest
+
+from repro.routing.link_state import LinkStateRouting
+from repro.routing.neighbor import NeighborTable
+from repro.sim.channel import Channel, LinkQuality
+from repro.sim.engine import Simulator
+from repro.sim.topology import Position, linear_positions
+
+
+def build(num_nodes=5, update_period=10.0, neighbor_refresh=5.0):
+    sim = Simulator()
+    channel = Channel(linear_positions(num_nodes, 40), radio_range=50.0,
+                      rng=random.Random(0), default_quality=LinkQuality.perfect())
+    routing = LinkStateRouting(channel, sim, update_period=update_period,
+                               neighbor_refresh_period=neighbor_refresh)
+    return sim, channel, routing
+
+
+class TestNeighborTable:
+    def test_snapshot_matches_channel(self):
+        sim, channel, _ = build()
+        table = NeighborTable(channel, sim)
+        table.refresh()
+        assert table.neighbors_of(0) == {1}
+        assert table.neighbors_of(2) == {1, 3}
+
+    def test_staleness_until_refresh(self):
+        sim, channel, _ = build()
+        table = NeighborTable(channel, sim, refresh_period=5.0)
+        table.start()
+        channel.set_position(1, Position(10_000, 0))
+        # Still the old view until the periodic refresh fires.
+        assert 1 in table.neighbors_of(0)
+        sim.run(until=6.0)
+        assert 1 not in table.neighbors_of(0)
+
+    def test_age_tracks_time_since_refresh(self):
+        sim, channel, _ = build()
+        table = NeighborTable(channel, sim, refresh_period=100.0)
+        table.start()
+        sim.run(until=7.0)
+        assert table.age == pytest.approx(7.0)
+
+
+class TestLinkStateRouting:
+    def test_next_hop_chain(self):
+        sim, channel, routing = build()
+        routing.start()
+        assert routing.next_hop(0, 4) == 1
+        assert routing.next_hop(3, 4) == 4
+        assert routing.next_hop(2, 0) == 1
+
+    def test_next_hop_to_self(self):
+        sim, channel, routing = build()
+        routing.start()
+        assert routing.next_hop(2, 2) == 2
+        assert routing.hops_to(2, 2) == 0
+
+    def test_hops_to_destination(self):
+        sim, channel, routing = build()
+        routing.start()
+        assert routing.hops_to(0, 4) == 4
+        assert routing.hops_to(1, 4) == 3
+
+    def test_route_full_path(self):
+        sim, channel, routing = build()
+        routing.start()
+        assert routing.route(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_destination(self):
+        sim, channel, routing = build()
+        routing.start()
+        channel.set_position(4, Position(10_000, 0))
+        routing.refresh_all_views()
+        assert routing.next_hop(0, 4) is None
+        assert not routing.is_reachable(0, 4)
+
+    def test_views_lag_topology_until_refresh(self):
+        sim, channel, routing = build(update_period=10.0, neighbor_refresh=10.0)
+        routing.start()
+        channel.set_position(4, Position(10_000, 0))
+        # The stale view still routes towards the departed node...
+        assert routing.next_hop(0, 4) == 1
+        # ...but ground truth disagrees.
+        assert routing.true_hops(0, 4) is None
+        sim.run(until=11.0)
+        assert routing.next_hop(0, 4) is None
+
+    def test_view_updates_counted(self):
+        sim, channel, routing = build(update_period=5.0)
+        routing.start()
+        before = routing.view_updates
+        sim.run(until=26.0)
+        assert routing.view_updates >= before + 5
+
+    def test_on_topology_change_does_not_refresh_immediately(self):
+        sim, channel, routing = build()
+        routing.start()
+        updates = routing.view_updates
+        routing.on_topology_change()
+        assert routing.view_updates == updates

@@ -1,0 +1,126 @@
+"""Integration tests for the paper's qualitative claims.
+
+These are the "shape" checks of the reproduction: who wins, in which
+direction a mechanism moves the metrics.  They run scaled-down versions
+of the benchmark scenarios, so each test takes a few hundred
+milliseconds rather than the minutes a full figure regeneration takes.
+"""
+
+import pytest
+
+from repro.core.config import JTPConfig
+from repro.experiments.scenarios import (
+    LOSSY_LINK_QUALITY,
+    PAPER_LINK_QUALITY,
+    linear_scenario,
+    testbed_scenario as build_testbed_scenario,
+)
+from repro.sim.channel import LinkQuality
+
+
+def run(protocol, num_nodes=6, seed=1, transfer=150_000, duration=900, quality=None, config=None):
+    return linear_scenario(
+        num_nodes,
+        protocol=protocol,
+        transfer_bytes=transfer,
+        num_flows=2,
+        duration=duration,
+        seed=seed,
+        link_quality=quality or PAPER_LINK_QUALITY,
+        jtp_config=config,
+    ).metrics
+
+
+class TestProtocolComparison:
+    """Figure 9's claims on linear topologies."""
+
+    def test_jtp_uses_less_energy_per_bit_than_tcp(self):
+        jtp = run("jtp")
+        tcp = run("tcp")
+        assert jtp.energy_per_bit_joules < tcp.energy_per_bit_joules
+
+    def test_jtp_goodput_beats_tcp(self):
+        jtp = run("jtp")
+        tcp = run("tcp")
+        assert jtp.goodput_bps > tcp.goodput_bps
+
+    def test_jtp_energy_no_worse_than_atp(self):
+        jtp = run("jtp")
+        atp = run("atp")
+        assert jtp.energy_per_bit_joules <= atp.energy_per_bit_joules * 1.05
+
+    def test_energy_per_bit_grows_with_path_length(self):
+        short = run("jtp", num_nodes=3)
+        long = run("jtp", num_nodes=8)
+        assert long.energy_per_bit_joules > short.energy_per_bit_joules
+
+    def test_jtp_avoids_congestion_drops_better_than_tcp(self):
+        jtp = run("jtp")
+        tcp = run("tcp")
+        assert jtp.queue_drops <= tcp.queue_drops
+
+
+class TestCachingClaims:
+    """Figure 4 and Section 4: in-network caching saves energy and source work."""
+
+    def test_caching_reduces_source_retransmissions(self):
+        jtp = run("jtp", quality=LOSSY_LINK_QUALITY, transfer=80_000, num_nodes=7)
+        jnc = run("jnc", quality=LOSSY_LINK_QUALITY, transfer=80_000, num_nodes=7)
+        assert jtp.source_retransmissions < jnc.source_retransmissions
+        assert jtp.cache_recoveries > 0
+        assert jnc.cache_recoveries == 0
+
+    def test_caching_saves_energy_on_long_lossy_paths(self):
+        jtp = run("jtp", quality=LOSSY_LINK_QUALITY, transfer=80_000, num_nodes=8, duration=1200)
+        jnc = run("jnc", quality=LOSSY_LINK_QUALITY, transfer=80_000, num_nodes=8, duration=1200)
+        assert jtp.energy_per_bit_joules <= jnc.energy_per_bit_joules * 1.05
+
+
+class TestAdjustableReliability:
+    """Figure 3: loss-tolerant flows deliver less data but meet their requirement."""
+
+    def test_loss_tolerant_delivery_meets_requirement(self):
+        for tolerance in (0.10, 0.20):
+            metrics = run("jtp", config=JTPConfig(loss_tolerance=tolerance),
+                          transfer=100_000, duration=700)
+            assert metrics.delivered_fraction >= (1.0 - tolerance) - 0.02
+
+    def test_full_reliability_delivers_everything(self):
+        metrics = run("jtp", transfer=100_000, duration=900)
+        assert metrics.delivered_fraction == pytest.approx(1.0, abs=0.01)
+
+    def test_tolerant_flows_deliver_less_than_reliable_ones(self):
+        reliable = run("jtp", transfer=100_000, duration=900,
+                       quality=LOSSY_LINK_QUALITY, num_nodes=5)
+        tolerant = run("jtp", config=JTPConfig(loss_tolerance=0.2), transfer=100_000,
+                       duration=900, quality=LOSSY_LINK_QUALITY, num_nodes=5)
+        assert tolerant.delivered_bytes <= reliable.delivered_bytes
+
+
+class TestFeedbackClaims:
+    """Section 5 / Figure 7: sparse, variable feedback is cheap."""
+
+    def test_variable_feedback_sends_fewer_acks_than_fast_constant(self):
+        from repro.core.config import FeedbackMode
+
+        variable = run("jtp", transfer=100_000, duration=600)
+        constant = run("jtp", transfer=100_000, duration=600,
+                       config=JTPConfig(feedback_mode=FeedbackMode.CONSTANT,
+                                        constant_feedback_period=2.0))
+        assert variable.acks_sent < constant.acks_sent
+
+    def test_jtp_ack_stream_sparser_than_tcp(self):
+        jtp = run("jtp", transfer=100_000)
+        tcp = run("tcp", transfer=100_000)
+        assert jtp.acks_sent < tcp.acks_sent
+
+
+class TestTestbedClaims:
+    """Table 2: over stable indoor-style links JTP still wins on energy."""
+
+    def test_jtp_beats_tcp_on_stable_links(self):
+        jtp = build_testbed_scenario(protocol="jtp", num_nodes=10, duration=900,
+                               mean_interarrival=200.0, mean_transfer_bytes=40_000, seed=1).metrics
+        tcp = build_testbed_scenario(protocol="tcp", num_nodes=10, duration=900,
+                               mean_interarrival=200.0, mean_transfer_bytes=40_000, seed=1).metrics
+        assert jtp.energy_per_bit_joules < tcp.energy_per_bit_joules

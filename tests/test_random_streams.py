@@ -1,0 +1,41 @@
+"""Named random streams: determinism and independence."""
+
+from repro.sim.random import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(42).stream("channel")
+    b = RandomStreams(42).stream("channel")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(42)
+    a = streams.stream("channel")
+    b = streams.stream("mobility")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("channel")
+    b = RandomStreams(2).stream("channel")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+    assert "x" in streams
+
+
+def test_spawn_derives_independent_streams():
+    base = RandomStreams(5)
+    child_a = base.spawn(1).stream("channel")
+    child_b = base.spawn(2).stream("channel")
+    assert [child_a.random() for _ in range(5)] != [child_b.random() for _ in range(5)]
+
+
+def test_spawn_is_deterministic():
+    a = RandomStreams(5).spawn(3).stream("s")
+    b = RandomStreams(5).spawn(3).stream("s")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]

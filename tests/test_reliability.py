@@ -1,0 +1,144 @@
+"""Adjustable-reliability mathematics (Section 3, Equations 1-4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reliability import (
+    achieved_link_success,
+    attempts_for_target,
+    end_to_end_success_probability,
+    per_link_success_target,
+    plan_hop_attempts,
+    updated_loss_tolerance,
+)
+
+
+class TestPerLinkTarget:
+    def test_equation4_example(self):
+        # 20% tolerance over 4 hops: q = 0.8 ** (1/4)
+        assert per_link_success_target(0.2, 4) == pytest.approx(0.8 ** 0.25)
+
+    def test_zero_tolerance_needs_perfect_links(self):
+        assert per_link_success_target(0.0, 5) == 1.0
+
+    def test_full_tolerance_needs_nothing(self):
+        assert per_link_success_target(1.0, 5) == 0.0
+
+    def test_single_hop_target_equals_requirement(self):
+        assert per_link_success_target(0.1, 1) == pytest.approx(0.9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            per_link_success_target(-0.1, 3)
+        with pytest.raises(ValueError):
+            per_link_success_target(0.1, 0)
+
+    @given(st.floats(min_value=0.0, max_value=0.99), st.integers(min_value=1, max_value=20))
+    def test_product_of_targets_meets_requirement(self, tolerance, hops):
+        """Equation 1: the per-link targets compose back to the end-to-end requirement."""
+        q = per_link_success_target(tolerance, hops)
+        assert q ** hops == pytest.approx(1.0 - tolerance, rel=1e-9, abs=1e-12)
+
+
+class TestAttemptsForTarget:
+    def test_equation2_example(self):
+        # q = 0.95 over a 50%-loss link: log(0.05)/log(0.5) = 4.32 -> 5 attempts.
+        assert attempts_for_target(0.95, 0.5, 10) == 5
+
+    def test_lossless_link_needs_one_attempt(self):
+        assert attempts_for_target(0.99, 0.0, 5) == 1
+
+    def test_zero_target_needs_one_attempt(self):
+        assert attempts_for_target(0.0, 0.5, 5) == 1
+
+    def test_perfect_target_capped_at_max(self):
+        assert attempts_for_target(1.0, 0.3, 5) == 5
+
+    def test_cap_applies(self):
+        assert attempts_for_target(0.999999, 0.9, 5) == 5
+
+    def test_monotone_in_target(self):
+        attempts = [attempts_for_target(q, 0.4, 10) for q in (0.5, 0.8, 0.95, 0.99)]
+        assert attempts == sorted(attempts)
+
+    def test_monotone_in_loss(self):
+        attempts = [attempts_for_target(0.95, p, 10) for p in (0.1, 0.3, 0.5, 0.7)]
+        assert attempts == sorted(attempts)
+
+    @given(st.floats(min_value=0.0, max_value=0.999), st.floats(min_value=0.0, max_value=0.95),
+           st.integers(min_value=1, max_value=10))
+    def test_result_within_bounds(self, target, loss, cap):
+        attempts = attempts_for_target(target, loss, cap)
+        assert 1 <= attempts <= cap
+
+    @given(st.floats(min_value=0.01, max_value=0.99), st.floats(min_value=0.01, max_value=0.9))
+    def test_attempts_actually_meet_target_when_not_capped(self, target, loss):
+        attempts = attempts_for_target(target, loss, 100)
+        assert achieved_link_success(loss, attempts) >= target - 1e-9
+
+
+class TestLossToleranceUpdate:
+    def test_equation3(self):
+        # lt=0.2, q=0.9 -> lt' = 1 - 0.8/0.9
+        assert updated_loss_tolerance(0.2, 0.9) == pytest.approx(1 - 0.8 / 0.9)
+
+    def test_clamped_at_zero_when_link_undershoots(self):
+        assert updated_loss_tolerance(0.05, 0.5) == 0.0
+
+    def test_perfect_link_preserves_tolerance(self):
+        assert updated_loss_tolerance(0.3, 1.0) == pytest.approx(0.3)
+
+    def test_zero_link_success_gives_zero_tolerance(self):
+        assert updated_loss_tolerance(0.5, 0.0) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.01, max_value=1.0))
+    def test_result_is_probability(self, tolerance, q):
+        assert 0.0 <= updated_loss_tolerance(tolerance, q) <= 1.0
+
+
+class TestEndToEnd:
+    def test_product(self):
+        assert end_to_end_success_probability([0.9, 0.9, 0.9]) == pytest.approx(0.729)
+
+    def test_empty_path(self):
+        assert end_to_end_success_probability([]) == 1.0
+
+    def test_plan_meets_requirement_on_uniform_path(self):
+        attempts, achieved = plan_hop_attempts(0.2, [0.3] * 5, max_attempts=10)
+        assert len(attempts) == 5
+        assert achieved >= 0.8 - 1e-9
+
+    def test_plan_with_zero_tolerance_uses_cap(self):
+        attempts, achieved = plan_hop_attempts(0.0, [0.3] * 4, max_attempts=5)
+        assert attempts == [5, 5, 5, 5]
+
+    def test_plan_on_lossless_path(self):
+        attempts, achieved = plan_hop_attempts(0.1, [0.0, 0.0, 0.0], max_attempts=5)
+        assert attempts == [1, 1, 1]
+        assert achieved == 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.lists(st.floats(min_value=0.0, max_value=0.6), min_size=1, max_size=10),
+    )
+    def test_plan_meets_requirement_whenever_uncapped(self, tolerance, losses):
+        """With a generous attempt cap the hop-by-hop plan always satisfies Eq. 1."""
+        attempts, achieved = plan_hop_attempts(tolerance, losses, max_attempts=60)
+        assert achieved >= (1.0 - tolerance) - 1e-6
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_plan_respects_attempt_cap(self, tolerance, losses, cap):
+        attempts, _ = plan_hop_attempts(tolerance, losses, max_attempts=cap)
+        assert all(1 <= a <= cap for a in attempts)
+
+    def test_higher_tolerance_never_needs_more_attempts(self):
+        losses = [0.4, 0.5, 0.3, 0.6]
+        strict, _ = plan_hop_attempts(0.0, losses, max_attempts=10)
+        relaxed, _ = plan_hop_attempts(0.3, losses, max_attempts=10)
+        assert all(r <= s for r, s in zip(relaxed, strict))

@@ -1,0 +1,62 @@
+"""Trace recorder behaviour."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_disabled_recorder_records_nothing():
+    trace = TraceRecorder(enabled=False)
+    trace.record("x", 1.0, a=1)
+    assert len(trace) == 0
+
+
+def test_enabled_recorder_records():
+    trace = TraceRecorder(enabled=True)
+    trace.record("x", 1.0, a=1)
+    trace.record("y", 2.0, a=2)
+    assert len(trace) == 2
+
+
+def test_empty_enabled_recorder_is_still_usable_in_boolean_context():
+    """Regression test: an empty recorder must not be treated as 'missing'."""
+    trace = TraceRecorder(enabled=True)
+    chosen = trace if trace is not None else TraceRecorder(enabled=False)
+    chosen.record("x", 0.0)
+    assert len(trace) == 1
+
+
+def test_kind_filter():
+    trace = TraceRecorder(enabled=True)
+    trace.record("a", 1.0, node=1)
+    trace.record("b", 2.0, node=1)
+    trace.record("a", 3.0, node=2)
+    assert len(trace.events("a")) == 2
+    assert len(trace.events("a", node=2)) == 1
+
+
+def test_kinds_whitelist():
+    trace = TraceRecorder(enabled=True, kinds={"keep"})
+    trace.record("keep", 1.0)
+    trace.record("discard", 2.0)
+    assert [e.kind for e in trace.events()] == ["keep"]
+
+
+def test_series_extraction():
+    trace = TraceRecorder(enabled=True)
+    for t in range(3):
+        trace.record("sample", float(t), value=t * 10)
+    assert trace.series("sample", "value") == [(0.0, 0), (1.0, 10), (2.0, 20)]
+
+
+def test_event_get_and_getitem():
+    trace = TraceRecorder(enabled=True)
+    trace.record("k", 0.0, field=5)
+    event = trace.events("k")[0]
+    assert event["field"] == 5
+    assert event.get("missing", "default") == "default"
+
+
+def test_clear():
+    trace = TraceRecorder(enabled=True)
+    trace.record("k", 0.0)
+    trace.clear()
+    assert len(trace) == 0

@@ -1,0 +1,58 @@
+"""Argument validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    clamp,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+def test_require_positive_accepts_positive():
+    assert require_positive(3.5, "x") == 3.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_require_positive_rejects(value):
+    with pytest.raises(ValueError, match="x"):
+        require_positive(value, "x")
+
+
+def test_require_non_negative_accepts_zero():
+    assert require_non_negative(0.0, "x") == 0.0
+
+
+def test_require_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        require_non_negative(-0.1, "x")
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_require_probability_accepts(value):
+    assert require_probability(value, "p") == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+def test_require_probability_rejects(value):
+    with pytest.raises(ValueError):
+        require_probability(value, "p")
+
+
+def test_require_in_range():
+    assert require_in_range(5, 0, 10, "x") == 5
+    with pytest.raises(ValueError):
+        require_in_range(11, 0, 10, "x")
+
+
+def test_clamp_inside_and_outside():
+    assert clamp(5, 0, 10) == 5
+    assert clamp(-5, 0, 10) == 0
+    assert clamp(15, 0, 10) == 10
+
+
+def test_clamp_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        clamp(1, 10, 0)
