@@ -5,7 +5,7 @@ plus the split between end-to-end (source) retransmissions and local
 cache recoveries (11c) for JTP.
 """
 
-from conftest import run_once
+from conftest import bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -16,6 +16,7 @@ def test_figure11_mobility(benchmark):
         benchmark, figures.figure11,
         speeds=(0.1, 1.0, 5.0), protocols=("jtp", "tcp"), seeds=(1,),
         num_nodes=15, num_flows=4, transfer_bytes=60_000, duration=900,
+        workers=bench_workers(),
     )
     print()
     print(format_table(

@@ -4,7 +4,7 @@ Regenerates: energy per delivered bit vs. net size (4a) and the
 per-node energy distribution on a 7-node chain (4b).
 """
 
-from conftest import run_once
+from conftest import bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -14,6 +14,7 @@ def test_figure4_energy_per_bit(benchmark):
     rows = run_once(
         benchmark, figures.figure4,
         net_sizes=(3, 5, 7, 9), seeds=(1, 2), transfer_bytes=80_000, duration=1000,
+        workers=bench_workers(),
     )
     print()
     print(format_table(
@@ -33,6 +34,7 @@ def test_figure4b_per_node_energy(benchmark):
     rows = run_once(
         benchmark, figures.figure4b,
         num_nodes=7, seeds=(1,), transfer_bytes=80_000, duration=1000,
+        workers=bench_workers(),
     )
     print()
     print(format_table(rows, title="Figure 4(b): per-node energy on a 7-node chain"))

@@ -1,0 +1,82 @@
+"""Parallel-runner scaling — wall-clock speedup of replicated runs.
+
+Replicates a 10-seed linear scenario at workers ∈ {1, 2, 4} and records
+the wall-clock time of each configuration plus the resulting speedups
+into ``BENCH_parallel.json`` next to this file, so the perf trajectory
+of the experiment harness is tracked across PRs.  Aggregated metrics
+must be bit-identical across worker counts — that is asserted
+unconditionally; the ≥2× speedup at ``workers=4`` is only asserted on
+machines with at least four cores (process-pool fan-out cannot beat
+serial execution on a single-core box).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.parallel import ParallelRunner, ScenarioSpec, spawn_seeds
+from repro.experiments.runner import summarize
+
+WORKER_COUNTS = (1, 2, 4)
+NUM_SEEDS = 10
+SCENARIO = ScenarioSpec("linear", dict(
+    num_nodes=5, protocol="jtp", transfer_bytes=30_000, num_flows=1, duration=400,
+))
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+
+def test_parallel_scaling(benchmark):
+    seeds = spawn_seeds(base_seed=0, count=NUM_SEEDS)
+    wall_clock = {}
+    summaries = {}
+
+    def run_all():
+        for workers in WORKER_COUNTS:
+            started = time.perf_counter()
+            records = ParallelRunner(workers=workers).replicate(SCENARIO, seeds)
+            wall_clock[workers] = time.perf_counter() - started
+            summaries[workers] = {
+                attr: summarize(records, attr)
+                for attr in ("energy_per_bit_microjoules", "goodput_kbps")
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Correctness first: every worker count must aggregate identically.
+    for workers in WORKER_COUNTS[1:]:
+        assert summaries[workers] == summaries[1], (
+            f"workers={workers} changed the aggregated metrics"
+        )
+
+    # Honour cgroup/affinity CPU limits, not just the host core count.
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        usable_cpus = os.cpu_count() or 1
+
+    record = {
+        "bench": "parallel_scaling",
+        "scenario": dict(SCENARIO.params, scenario=SCENARIO.scenario),
+        "num_seeds": NUM_SEEDS,
+        "cpu_count": usable_cpus,
+        "wall_clock_s": {str(w): round(wall_clock[w], 4) for w in WORKER_COUNTS},
+        "speedup_vs_serial": {
+            str(w): round(wall_clock[1] / wall_clock[w], 3) for w in WORKER_COUNTS
+        },
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    # The ≥2x acceptance bar only applies where 4 workers have 4 cores.
+    if usable_cpus >= 4:
+        assert wall_clock[1] / wall_clock[4] >= 2.0, (
+            f"expected >=2x speedup at workers=4, got {wall_clock[1] / wall_clock[4]:.2f}x"
+        )

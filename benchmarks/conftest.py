@@ -2,14 +2,37 @@
 
 Each benchmark regenerates one of the paper's tables or figures at a
 reduced scale (fewer seeds, shorter runs) and prints the resulting rows
-or series, so ``pytest benchmarks/ --benchmark-only -s`` reads like the
-paper's evaluation section.  Every experiment function accepts the full
-paper-scale parameters if you want the long version.
+or series, so the harness output reads like the paper's evaluation
+section.  Every experiment function accepts the full paper-scale
+parameters if you want the long version.
+
+Invocation (the ``bench_*.py`` names do not match pytest's default
+``test_*.py`` collection pattern, so name the files explicitly)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -q -s
+
+The tier-1 correctness gate stays ``PYTHONPATH=src python -m pytest -x
+-q`` from the repository root; the benchmarks are additive.  Set
+``REPRO_WORKERS`` to control the process-pool fan-out of the parallel
+figure drivers (unset = one worker per core, ``1`` = serial).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from typing import Callable, Optional
+
+
+def bench_workers() -> Optional[int]:
+    """Worker count for the parallel figure drivers.
+
+    Reads ``REPRO_WORKERS``; unset means ``None`` (the figures then
+    default to ``os.cpu_count()``).  Set ``REPRO_WORKERS=1`` to force
+    the historical serial execution — the rows are bit-identical either
+    way, only the wall-clock changes.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    return int(value) if value else None
 
 
 def run_once(benchmark, experiment: Callable, *args, **kwargs):

@@ -5,22 +5,37 @@ increasing length under JTP, the ATP-like explicit-rate baseline and
 rate-paced TCP-SACK, and prints energy per delivered bit and per-flow
 goodput for each — a scaled-down regeneration of the paper's Figure 9.
 
+The per-seed runs fan out over a process pool; ``--workers 1`` forces
+serial execution and ``--seeds N`` scales the replication up.  The
+printed rows are bit-identical for any worker count.
+
 Run with::
 
-    python examples/protocol_shootout.py
+    python examples/protocol_shootout.py [--workers N] [--seeds N]
 """
 
+import argparse
+
 from repro.experiments.figures import figure9
+from repro.experiments.parallel import spawn_seeds
 from repro.experiments.report import format_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per CPU core; 1 = serial)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="independent replications per cell (default: 1)")
+    args = parser.parse_args()
+
     rows = figure9(
         net_sizes=(3, 5, 7),
         protocols=("jtp", "atp", "tcp"),
-        seeds=(1,),
+        seeds=spawn_seeds(base_seed=1, count=args.seeds) if args.seeds > 1 else (1,),
         transfer_bytes=200_000,
         duration=1000.0,
+        workers=args.workers,
     )
     print(format_table(
         rows,

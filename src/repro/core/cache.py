@@ -15,7 +15,7 @@ difference.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import CachePolicy
 from repro.core.packet import Packet
@@ -23,12 +23,19 @@ from repro.util.validation import require_positive
 
 
 class PacketCache:
-    """Bounded per-node store of traversing data packets."""
+    """Bounded per-node store of traversing data packets.
+
+    Alongside the recency-ordered entry map, a per-flow sequence-number
+    index is maintained so that the cumulative-ACK and flow-teardown
+    discards touch only the affected flow's entries instead of scanning
+    the whole cache (every traversing ACK triggers one such discard).
+    """
 
     def __init__(self, capacity: int = 1000, policy: CachePolicy = CachePolicy.LRU):
         self.capacity = int(require_positive(capacity, "capacity"))
         self.policy = policy
         self._entries: "OrderedDict[Tuple[int, int], Packet]" = OrderedDict()
+        self._flow_index: Dict[int, Set[int]] = {}
         self.insertions = 0
         self.hits = 0
         self.misses = 0
@@ -54,6 +61,7 @@ class PacketCache:
         elif len(self._entries) >= self.capacity:
             self._evict_one()
         self._entries[key] = packet
+        self._flow_index.setdefault(key[0], set()).add(key[1])
         self.insertions += 1
 
     def _evict_one(self) -> None:
@@ -63,8 +71,16 @@ class PacketCache:
         ordered dict; the difference is that LRU refreshes an entry's
         position on every lookup while FIFO never does.
         """
-        self._entries.popitem(last=False)
+        key, _ = self._entries.popitem(last=False)
+        self._unindex(key)
         self.evictions += 1
+
+    def _unindex(self, key: Tuple[int, int]) -> None:
+        seqs = self._flow_index.get(key[0])
+        if seqs is not None:
+            seqs.discard(key[1])
+            if not seqs:
+                del self._flow_index[key[0]]
 
     def lookup(self, flow_id: int, seq: int) -> Optional[Packet]:
         """Return the cached packet, refreshing recency under LRU."""
@@ -80,26 +96,40 @@ class PacketCache:
 
     def discard(self, flow_id: int, seq: int) -> bool:
         """Remove a packet (e.g. once it is known to be delivered)."""
-        return self._entries.pop((flow_id, seq), None) is not None
+        key = (flow_id, seq)
+        if self._entries.pop(key, None) is None:
+            return False
+        self._unindex(key)
+        return True
 
     def discard_up_to(self, flow_id: int, cumulative_ack: int) -> int:
         """Drop all cached packets of ``flow_id`` with seq <= ``cumulative_ack``.
 
         Called when a traversing ACK shows those packets have reached
         the destination; keeping them would only waste cache slots.
-        Returns the number of entries removed.
+        Only the flow's own index entries are visited, so the cost is
+        independent of the total cache size.  Returns the number of
+        entries removed.
         """
-        stale = [key for key in self._entries if key[0] == flow_id and key[1] <= cumulative_ack]
-        for key in stale:
-            del self._entries[key]
+        seqs = self._flow_index.get(flow_id)
+        if not seqs:
+            return 0
+        stale = [seq for seq in seqs if seq <= cumulative_ack]
+        for seq in stale:
+            del self._entries[(flow_id, seq)]
+        seqs.difference_update(stale)
+        if not seqs:
+            del self._flow_index[flow_id]
         return len(stale)
 
     def discard_flow(self, flow_id: int) -> int:
         """Drop every cached packet belonging to ``flow_id``."""
-        stale = [key for key in self._entries if key[0] == flow_id]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        seqs = self._flow_index.pop(flow_id, None)
+        if not seqs:
+            return 0
+        for seq in seqs:
+            del self._entries[(flow_id, seq)]
+        return len(seqs)
 
     def retrieve_for_snack(self, flow_id: int, snack: Tuple[int, ...]) -> List[Packet]:
         """All cached packets of ``flow_id`` whose seq appears in ``snack``."""
@@ -112,10 +142,7 @@ class PacketCache:
 
     def occupancy_by_flow(self) -> Dict[int, int]:
         """Number of cached packets per flow (useful for fairness studies)."""
-        counts: Dict[int, int] = {}
-        for flow_id, _ in self._entries:
-            counts[flow_id] = counts.get(flow_id, 0) + 1
-        return counts
+        return {flow_id: len(seqs) for flow_id, seqs in self._flow_index.items()}
 
     @property
     def hit_ratio(self) -> float:

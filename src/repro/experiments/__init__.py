@@ -7,6 +7,10 @@
   (static linear, static random, mobile random, testbed-like);
 * :mod:`repro.experiments.runner` — runs scenarios, replicates them over
   seeds and aggregates with confidence intervals;
+* :mod:`repro.experiments.parallel` — :class:`ParallelRunner` fans
+  replications and parameter sweeps out over a process pool, returning
+  picklable :class:`ScenarioRecord` summaries (bit-identical aggregates
+  for any worker count);
 * :mod:`repro.experiments.figures` — one function per figure/table
   (``figure3`` … ``figure11``, ``table2``) returning structured rows;
 * :mod:`repro.experiments.report` — plain-text table rendering.
@@ -24,6 +28,12 @@ from repro.experiments.scenarios import (
     testbed_scenario,
 )
 from repro.experiments.runner import average_metrics, confidence_interval, replicate
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ScenarioRecord,
+    ScenarioSpec,
+    spawn_seeds,
+)
 from repro.experiments.report import format_table
 from repro.experiments import figures
 
@@ -42,6 +52,10 @@ __all__ = [
     "average_metrics",
     "confidence_interval",
     "replicate",
+    "ParallelRunner",
+    "ScenarioRecord",
+    "ScenarioSpec",
+    "spawn_seeds",
     "format_table",
     "figures",
 ]

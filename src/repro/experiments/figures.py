@@ -8,6 +8,15 @@ paper's (fewer seeds, shorter runs, smaller transfers) so a full
 regeneration finishes in minutes on a laptop; every parameter can be
 turned back up.
 
+The figures that only need per-run metrics (3, 4, 4b, 6, 9, 10, 11 and
+Table 2) fan their independent runs out over a
+:class:`~repro.experiments.parallel.ParallelRunner` process pool; their
+``workers`` parameter defaults to ``os.cpu_count()`` and ``workers=1``
+forces the historical serial execution.  Either way the rows are
+bit-identical, because every run is fully determined by its seed.  The
+figures that inspect live simulator state after the run (3c, 5, 7, 8)
+always execute serially in-process.
+
 The mapping to the paper:
 
 =============  =====================================================================
@@ -33,15 +42,12 @@ import statistics
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
+from repro.experiments.parallel import ParallelRunner, ScenarioSpec
 from repro.experiments.runner import confidence_interval
 from repro.experiments.scenarios import (
     LOSSY_LINK_QUALITY,
     PAPER_LINK_QUALITY,
-    ScenarioResult,
     linear_scenario,
-    mobile_scenario,
-    random_scenario,
-    testbed_scenario,
 )
 from repro.transport.registry import make_protocol
 from repro.transport.udp import UdpConfig, UdpProtocol
@@ -63,37 +69,37 @@ def figure3(
     seeds: Sequence[int] = (1, 2),
     transfer_bytes: float = 120_000.0,
     duration: float = 900.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figures 3(a) and 3(b): energy and delivered data per reliability level."""
+    cells = [(size, tolerance) for size in net_sizes for tolerance in tolerances]
+    specs = [
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol=f"jtp{int(round(tolerance * 100))}" if tolerance > 0 else "jtp",
+            jtp_config=JTPConfig(loss_tolerance=tolerance),
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+        ))
+        for size, tolerance in cells
+    ]
     rows: List[Row] = []
-    for size in net_sizes:
-        for tolerance in tolerances:
-            label = f"jtp{int(round(tolerance * 100))}"
-            energies, delivered = [], []
-            for seed in seeds:
-                result = linear_scenario(
-                    size,
-                    protocol=label if tolerance > 0 else "jtp",
-                    jtp_config=JTPConfig(loss_tolerance=tolerance),
-                    transfer_bytes=transfer_bytes,
-                    num_flows=1,
-                    duration=duration,
-                    seed=seed,
-                )
-                energies.append(result.metrics.energy_joules)
-                delivered.append(result.metrics.delivered_bytes / 1e3)
-            energy_mean, energy_ci = _mean_ci(energies)
-            data_mean, data_ci = _mean_ci(delivered)
-            rows.append({
-                "netSize": size,
-                "protocol": label,
-                "loss_tolerance": tolerance,
-                "total_energy_J": energy_mean,
-                "total_energy_ci": energy_ci,
-                "data_delivered_kB": data_mean,
-                "data_delivered_ci": data_ci,
-                "requirement_kB": transfer_bytes * (1.0 - tolerance) / 1e3,
-            })
+    for (size, tolerance), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+        energies = [r.metrics.energy_joules for r in records]
+        delivered = [r.metrics.delivered_bytes / 1e3 for r in records]
+        energy_mean, energy_ci = _mean_ci(energies)
+        data_mean, data_ci = _mean_ci(delivered)
+        rows.append({
+            "netSize": size,
+            "protocol": f"jtp{int(round(tolerance * 100))}",
+            "loss_tolerance": tolerance,
+            "total_energy_J": energy_mean,
+            "total_energy_ci": energy_ci,
+            "data_delivered_kB": data_mean,
+            "data_delivered_ci": data_ci,
+            "requirement_kB": transfer_bytes * (1.0 - tolerance) / 1e3,
+        })
     return rows
 
 
@@ -137,32 +143,31 @@ def figure4(
     seeds: Sequence[int] = (1, 2),
     transfer_bytes: float = 150_000.0,
     duration: float = 1200.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4(a): energy per delivered bit, JTP vs. JNC, vs. path length."""
+    cells = [(size, name) for size in net_sizes for name in ("jtp", "jnc")]
+    specs = [
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol=name,
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+            link_quality=LOSSY_LINK_QUALITY,
+        ))
+        for size, name in cells
+    ]
     rows: List[Row] = []
-    for size in net_sizes:
-        for name in ("jtp", "jnc"):
-            values, src_rtx = [], []
-            for seed in seeds:
-                result = linear_scenario(
-                    size,
-                    protocol=name,
-                    transfer_bytes=transfer_bytes,
-                    num_flows=1,
-                    duration=duration,
-                    seed=seed,
-                    link_quality=LOSSY_LINK_QUALITY,
-                )
-                values.append(result.metrics.energy_per_bit_microjoules)
-                src_rtx.append(result.metrics.source_retransmissions)
-            mean, ci = _mean_ci(values)
-            rows.append({
-                "netSize": size,
-                "protocol": name,
-                "energy_per_bit_uJ": mean,
-                "energy_per_bit_ci": ci,
-                "source_rtx": statistics.fmean(src_rtx),
-            })
+    for (size, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+        mean, ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
+        rows.append({
+            "netSize": size,
+            "protocol": name,
+            "energy_per_bit_uJ": mean,
+            "energy_per_bit_ci": ci,
+            "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
+        })
     return rows
 
 
@@ -171,22 +176,26 @@ def figure4b(
     seeds: Sequence[int] = (1, 2),
     transfer_bytes: float = 150_000.0,
     duration: float = 1200.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 4(b): per-node energy in a 7-node chain, JTP vs. JNC."""
+    names = ("jtp", "jnc")
+    specs = [
+        ScenarioSpec("linear", dict(
+            num_nodes=num_nodes,
+            protocol=name,
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+            link_quality=LOSSY_LINK_QUALITY,
+        ))
+        for name in names
+    ]
     rows: List[Row] = []
-    for name in ("jtp", "jnc"):
+    for name, records in zip(names, ParallelRunner(workers).run_grid(specs, seeds)):
         per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
-        for seed in seeds:
-            result = linear_scenario(
-                num_nodes,
-                protocol=name,
-                transfer_bytes=transfer_bytes,
-                num_flows=1,
-                duration=duration,
-                seed=seed,
-                link_quality=LOSSY_LINK_QUALITY,
-            )
-            for node_id, joules in result.metrics.per_node_energy.items():
+        for record in records:
+            for node_id, joules in record.metrics.per_node_energy.items():
                 per_node[node_id].append(joules)
         for node_id in range(num_nodes):
             rows.append({
@@ -258,31 +267,30 @@ def figure6(
     transfer_bytes: float = 200_000.0,
     duration: float = 1200.0,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 6: source retransmissions vs. in-network cache size."""
+    cells = [(size, cache_size) for size in net_sizes for cache_size in cache_sizes]
+    specs = [
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol="jtp",
+            jtp_config=JTPConfig(cache_size=cache_size),
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+            link_quality=LOSSY_LINK_QUALITY,
+        ))
+        for size, cache_size in cells
+    ]
     rows: List[Row] = []
-    for size in net_sizes:
-        for cache_size in cache_sizes:
-            rtx, recoveries = [], []
-            for seed in seeds:
-                result = linear_scenario(
-                    size,
-                    protocol="jtp",
-                    jtp_config=JTPConfig(cache_size=cache_size),
-                    transfer_bytes=transfer_bytes,
-                    num_flows=1,
-                    duration=duration,
-                    seed=seed,
-                    link_quality=LOSSY_LINK_QUALITY,
-                )
-                rtx.append(result.metrics.source_retransmissions)
-                recoveries.append(result.metrics.cache_recoveries)
-            rows.append({
-                "netSize": size,
-                "cache_size": cache_size,
-                "source_rtx": statistics.fmean(rtx),
-                "cache_recoveries": statistics.fmean(recoveries),
-            })
+    for (size, cache_size), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+        rows.append({
+            "netSize": size,
+            "cache_size": cache_size,
+            "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
+            "cache_recoveries": statistics.fmean(r.metrics.cache_recoveries for r in records),
+        })
     return rows
 
 
@@ -396,40 +404,50 @@ def figure8(
 # Figures 9-11 and Table 2 — protocol comparisons
 # ---------------------------------------------------------------------------
 
+def _comparison_rows(
+    cells: Sequence[Tuple[object, str]],
+    specs: Sequence[ScenarioSpec],
+    seeds: Sequence[int],
+    cell_key: str,
+    workers: Optional[int],
+) -> List[Row]:
+    """Shared aggregation for the figure 9/10 protocol-comparison grids."""
+    rows: List[Row] = []
+    for (cell_value, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+        energy_mean, energy_ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
+        goodput_mean, goodput_ci = _mean_ci([r.metrics.goodput_kbps for r in records])
+        rows.append({
+            cell_key: cell_value,
+            "protocol": name,
+            "energy_per_bit_uJ": energy_mean,
+            "energy_per_bit_ci": energy_ci,
+            "goodput_kbps": goodput_mean,
+            "goodput_ci": goodput_ci,
+        })
+    return rows
+
+
 def figure9(
     net_sizes: Sequence[int] = (3, 5, 7, 9),
     protocols: Sequence[str] = ("jtp", "atp", "tcp"),
     seeds: Sequence[int] = (1, 2),
     transfer_bytes: float = 300_000.0,
     duration: float = 1200.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 9: energy per bit and goodput on linear topologies."""
-    rows: List[Row] = []
-    for size in net_sizes:
-        for name in protocols:
-            energy, goodput = [], []
-            for seed in seeds:
-                result = linear_scenario(
-                    size,
-                    protocol=name,
-                    transfer_bytes=transfer_bytes,
-                    num_flows=2,
-                    duration=duration,
-                    seed=seed,
-                )
-                energy.append(result.metrics.energy_per_bit_microjoules)
-                goodput.append(result.metrics.goodput_kbps)
-            energy_mean, energy_ci = _mean_ci(energy)
-            goodput_mean, goodput_ci = _mean_ci(goodput)
-            rows.append({
-                "netSize": size,
-                "protocol": name,
-                "energy_per_bit_uJ": energy_mean,
-                "energy_per_bit_ci": energy_ci,
-                "goodput_kbps": goodput_mean,
-                "goodput_ci": goodput_ci,
-            })
-    return rows
+    cells = [(size, name) for size in net_sizes for name in protocols]
+    specs = [
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol=name,
+            transfer_bytes=transfer_bytes,
+            num_flows=2,
+            duration=duration,
+        ))
+        for size, name in cells
+    ]
+    return _comparison_rows(cells, specs, seeds, "netSize", workers)
 
 
 def figure10(
@@ -439,34 +457,21 @@ def figure10(
     num_flows: int = 5,
     transfer_bytes: float = 100_000.0,
     duration: float = 1200.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 10: energy per bit and goodput on static random topologies."""
-    rows: List[Row] = []
-    for size in net_sizes:
-        for name in protocols:
-            energy, goodput = [], []
-            for seed in seeds:
-                result = random_scenario(
-                    size,
-                    protocol=name,
-                    num_flows=num_flows,
-                    transfer_bytes=transfer_bytes,
-                    duration=duration,
-                    seed=seed,
-                )
-                energy.append(result.metrics.energy_per_bit_microjoules)
-                goodput.append(result.metrics.goodput_kbps)
-            energy_mean, energy_ci = _mean_ci(energy)
-            goodput_mean, goodput_ci = _mean_ci(goodput)
-            rows.append({
-                "netSize": size,
-                "protocol": name,
-                "energy_per_bit_uJ": energy_mean,
-                "energy_per_bit_ci": energy_ci,
-                "goodput_kbps": goodput_mean,
-                "goodput_ci": goodput_ci,
-            })
-    return rows
+    cells = [(size, name) for size in net_sizes for name in protocols]
+    specs = [
+        ScenarioSpec("random", dict(
+            num_nodes=size,
+            protocol=name,
+            num_flows=num_flows,
+            transfer_bytes=transfer_bytes,
+            duration=duration,
+        ))
+        for size, name in cells
+    ]
+    return _comparison_rows(cells, specs, seeds, "netSize", workers)
 
 
 def figure11(
@@ -477,6 +482,7 @@ def figure11(
     num_flows: int = 5,
     transfer_bytes: float = 80_000.0,
     duration: float = 1200.0,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Figure 11(a,b): energy per bit and goodput under random-waypoint mobility.
 
@@ -484,33 +490,31 @@ def figure11(
     retransmissions and cache recoveries, normalised by delivered
     packets.
     """
+    cells = [(speed, name) for speed in speeds for name in protocols]
+    specs = [
+        ScenarioSpec("mobile", dict(
+            num_nodes=num_nodes,
+            protocol=name,
+            speed=speed,
+            num_flows=num_flows,
+            transfer_bytes=transfer_bytes,
+            duration=duration,
+        ))
+        for speed, name in cells
+    ]
     rows: List[Row] = []
-    for speed in speeds:
-        for name in protocols:
-            energy, goodput, rtx, recoveries, delivered = [], [], [], [], []
-            for seed in seeds:
-                result = mobile_scenario(
-                    num_nodes=num_nodes,
-                    protocol=name,
-                    speed=speed,
-                    num_flows=num_flows,
-                    transfer_bytes=transfer_bytes,
-                    duration=duration,
-                    seed=seed,
-                )
-                energy.append(result.metrics.energy_per_bit_microjoules)
-                goodput.append(result.metrics.goodput_kbps)
-                rtx.append(result.metrics.source_retransmissions)
-                recoveries.append(result.metrics.cache_recoveries)
-                delivered.append(max(1.0, result.metrics.delivered_bytes / 800.0))
-            rows.append({
-                "speed_mps": speed,
-                "protocol": name,
-                "energy_per_bit_uJ": statistics.fmean(energy),
-                "goodput_kbps": statistics.fmean(goodput),
-                "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
-                "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
-            })
+    for (speed, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+        delivered = [max(1.0, r.metrics.delivered_bytes / 800.0) for r in records]
+        rtx = [r.metrics.source_retransmissions for r in records]
+        recoveries = [r.metrics.cache_recoveries for r in records]
+        rows.append({
+            "speed_mps": speed,
+            "protocol": name,
+            "energy_per_bit_uJ": statistics.fmean(r.metrics.energy_per_bit_microjoules for r in records),
+            "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
+            "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
+            "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
+        })
     return rows
 
 
@@ -532,19 +536,19 @@ def table2(
     duration: float = 1800.0,
     seeds: Sequence[int] = (1,),
     num_nodes: int = 14,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Table 2: testbed-like comparison over stable, low-loss links."""
+    specs = [
+        ScenarioSpec("testbed", dict(protocol=name, num_nodes=num_nodes, duration=duration))
+        for name in protocols
+    ]
     rows: List[Row] = []
-    for name in protocols:
-        energy, goodput = [], []
-        for seed in seeds:
-            result = testbed_scenario(protocol=name, num_nodes=num_nodes, duration=duration, seed=seed)
-            energy.append(result.metrics.energy_per_bit_millijoules)
-            goodput.append(result.metrics.goodput_kbps)
+    for name, records in zip(protocols, ParallelRunner(workers).run_grid(specs, seeds)):
         rows.append({
             "protocol": name,
-            "energy_per_bit_mJ": statistics.fmean(energy),
-            "goodput_kbps": statistics.fmean(goodput),
+            "energy_per_bit_mJ": statistics.fmean(r.metrics.energy_per_bit_millijoules for r in records),
+            "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
         })
     return rows
 

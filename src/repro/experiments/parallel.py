@@ -1,0 +1,289 @@
+"""Parallel experiment execution.
+
+The paper averages every linear-topology figure over twenty independent
+runs and every random-topology figure over ten; replicating those runs
+serially uses one core no matter the machine.  This module fans the
+replications out over a process pool while keeping every result
+bit-identical to a serial run:
+
+* :class:`ScenarioRecord` — a picklable snapshot of a finished run
+  (metrics plus a configuration echo, **no** live simulator state).
+  :class:`~repro.experiments.scenarios.ScenarioResult` holds the whole
+  :class:`~repro.sim.network.Network` and cannot cross a process
+  boundary; workers therefore reduce each result to a record before
+  returning it.  Records expose the same ``.metrics`` attribute as
+  results, so :func:`~repro.experiments.runner.summarize`,
+  :func:`~repro.experiments.runner.metric_values` and
+  :func:`~repro.experiments.runner.average_metrics` accept either.
+* :class:`ScenarioSpec` — a picklable ``builder(seed)`` callable naming
+  one of the scenario families ("linear", "random", "mobile",
+  "testbed") plus its keyword arguments.  Specs are the unit of work
+  for grid sweeps and the recommended builder for parallel runs.
+* :class:`ParallelRunner` — the worker pool.  ``workers=1`` runs
+  everything serially in-process (today's exact semantics, no pool);
+  ``workers=N`` fans out over ``N`` processes; the default is
+  ``os.cpu_count()``.  Because every scenario is fully determined by
+  its seed and results are collected in submission order, the
+  aggregated output is bit-identical for every worker count.
+* :func:`spawn_seeds` — deterministic per-replicate seed derivation via
+  :meth:`~repro.sim.random.RandomStreams.spawn`, so "give me ten
+  replications of base seed 7" names the same ten seeds everywhere.
+
+Pickling contract: a :class:`ScenarioRecord` (and therefore everything
+workers send back) must survive ``pickle.dumps`` — plain dataclasses,
+enums, numbers, strings and containers thereof only.  On platforms with
+the ``fork`` start method (Linux), arbitrary builders — lambdas and
+closures included — are supported, because child processes inherit the
+task list instead of unpickling it; elsewhere the builder itself must
+be picklable (use a :class:`ScenarioSpec` or a module-level function).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import statistics
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.metrics import ScenarioMetrics
+from repro.experiments.scenarios import (
+    ScenarioResult,
+    linear_scenario,
+    mobile_scenario,
+    random_scenario,
+    testbed_scenario,
+)
+from repro.sim.random import RandomStreams
+
+Row = Dict[str, object]
+
+#: Scenario families a :class:`ScenarioSpec` may name.
+SCENARIO_BUILDERS: Dict[str, Callable[..., ScenarioResult]] = {
+    "linear": linear_scenario,
+    "random": random_scenario,
+    "mobile": mobile_scenario,
+    "testbed": testbed_scenario,
+}
+
+#: Metrics summarised by :meth:`ParallelRunner.sweep` unless overridden.
+DEFAULT_SWEEP_ATTRIBUTES = ("energy_per_bit_microjoules", "goodput_kbps")
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """A picklable summary of one finished scenario run.
+
+    Unlike :class:`~repro.experiments.scenarios.ScenarioResult` it keeps
+    no simulator state — only the extracted metrics and an echo of what
+    was run — so it can be returned from a worker process and stored or
+    serialised cheaply.
+    """
+
+    seed: int
+    scenario: str
+    params: Dict[str, object]
+    duration: float
+    metrics: ScenarioMetrics
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ScenarioResult,
+        seed: int,
+        scenario: str = "",
+        params: Optional[Mapping[str, object]] = None,
+    ) -> "ScenarioRecord":
+        """Reduce a live result to its picklable record."""
+        return cls(
+            seed=int(seed),
+            scenario=scenario,
+            params=dict(params or {}),
+            duration=result.duration,
+            metrics=result.metrics,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable ``builder(seed)``: scenario family plus parameters.
+
+    ``ScenarioSpec("linear", {"num_nodes": 5, "protocol": "jtp"})(seed)``
+    is equivalent to ``linear_scenario(num_nodes=5, protocol="jtp",
+    seed=seed)``.  Because the spec carries only plain data it can be
+    shipped to worker processes, unlike a lambda closing over local
+    state.
+    """
+
+    scenario: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIO_BUILDERS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; known: {sorted(SCENARIO_BUILDERS)}"
+            )
+        if "seed" in self.params:
+            raise ValueError("the seed is supplied per replication, not in the spec")
+        # Detach from the caller's dict so later mutation of it cannot
+        # bypass the validation above or silently change the spec.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, seed: int) -> ScenarioResult:
+        """Run the scenario once with the given seed."""
+        return SCENARIO_BUILDERS[self.scenario](seed=seed, **self.params)
+
+    __call__ = build
+
+
+def spawn_seeds(base_seed: int, count: int) -> List[int]:
+    """Derive ``count`` deterministic replicate seeds from ``base_seed``.
+
+    Uses :meth:`RandomStreams.spawn` so the derivation matches the
+    stream-spawning used elsewhere: replicate ``i`` of base seed ``s``
+    always names the same seed, independent of worker count or machine.
+    """
+    if count < 1:
+        raise ValueError("at least one replicate seed is required")
+    root = RandomStreams(base_seed)
+    return [root.spawn(index + 1).seed for index in range(count)]
+
+
+def _record_label(builder: Callable[[int], ScenarioResult]) -> Tuple[str, Dict[str, object]]:
+    if isinstance(builder, ScenarioSpec):
+        return builder.scenario, dict(builder.params)
+    return getattr(builder, "__name__", type(builder).__name__), {}
+
+
+def _run_task(task: Tuple[Callable[[int], ScenarioResult], int]) -> ScenarioRecord:
+    builder, seed = task
+    scenario, params = _record_label(builder)
+    return ScenarioRecord.from_result(builder(seed), seed, scenario, params)
+
+
+#: Task list inherited by forked workers, so builders never need to be
+#: pickled on fork platforms (set immediately before the pool is created;
+#: children fork lazily on first submission and see the assignment).
+_INHERITED_TASKS: List[Tuple[Callable[[int], ScenarioResult], int]] = []
+
+
+def _run_inherited_task(index: int) -> ScenarioRecord:
+    return _run_task(_INHERITED_TASKS[index])
+
+
+class ParallelRunner:
+    """Fan ``builder(seed)`` replications out over a process pool.
+
+    ``workers=1`` executes serially in the current process with no pool
+    at all — byte-for-byte today's serial semantics — which is what the
+    reproducibility tests pin.  Any other worker count must produce
+    bit-identical aggregates, because each run is fully determined by
+    its seed and records are collected in submission order.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    # -- core execution ---------------------------------------------------------------
+
+    def run_tasks(
+        self, tasks: Sequence[Tuple[Callable[[int], ScenarioResult], int]]
+    ) -> List[ScenarioRecord]:
+        """Run ``(builder, seed)`` tasks, preserving task order in the output."""
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return [_run_task(task) for task in tasks]
+        max_workers = min(self.workers, len(tasks))
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Children inherit the task list through fork, so builders
+            # (even lambdas/closures) never cross a pickle boundary.
+            global _INHERITED_TASKS
+            _INHERITED_TASKS = list(tasks)
+            try:
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+                    return list(pool.map(_run_inherited_task, range(len(tasks))))
+            finally:
+                _INHERITED_TASKS = []
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_task, tasks))
+
+    def replicate(
+        self,
+        builder: Callable[[int], ScenarioResult],
+        seeds: Sequence[int],
+    ) -> List[ScenarioRecord]:
+        """Run ``builder(seed)`` for every seed; records come back in seed order."""
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        return self.run_tasks([(builder, seed) for seed in seeds])
+
+    def run_grid(
+        self,
+        specs: Sequence[Callable[[int], ScenarioResult]],
+        seeds: Sequence[int],
+    ) -> List[List[ScenarioRecord]]:
+        """Run every spec × seed combination through one shared pool.
+
+        Flattening the whole grid into a single task list keeps all
+        workers busy even when individual cells have few seeds.  The
+        result is aligned with ``specs``: one list of per-seed records
+        per spec, in seed order.
+        """
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        tasks = [(spec, seed) for spec in specs for seed in seeds]
+        records = self.run_tasks(tasks)
+        per_spec = len(seeds)
+        return [records[i * per_spec:(i + 1) * per_spec] for i in range(len(specs))]
+
+    # -- sweeps -----------------------------------------------------------------------
+
+    def sweep(
+        self,
+        scenario: str,
+        grid: Mapping[str, Sequence[object]],
+        seeds: Union[int, Sequence[int]],
+        base_params: Optional[Mapping[str, object]] = None,
+        attributes: Sequence[str] = DEFAULT_SWEEP_ATTRIBUTES,
+        base_seed: int = 0,
+    ) -> List[Row]:
+        """Run a parameter grid and return tidy per-cell summary rows.
+
+        ``grid`` maps parameter names (e.g. ``protocol``, ``num_nodes``,
+        ``link_quality``, ``speed``) to the values to sweep; the cross
+        product of all axes defines the cells.  ``seeds`` is either an
+        explicit seed list or a replicate count, in which case the seeds
+        are derived deterministically with :func:`spawn_seeds` from
+        ``base_seed``.  Every row echoes its cell's parameters and, for
+        each requested metric attribute, carries ``<attr>_mean`` and the
+        95% confidence half-width ``<attr>_ci95``.
+        """
+        from repro.experiments.runner import confidence_interval
+
+        if isinstance(seeds, int):
+            seeds = spawn_seeds(base_seed, seeds)
+        axes = list(grid)
+        combos = list(itertools.product(*(grid[name] for name in axes)))
+        specs = [
+            ScenarioSpec(scenario, {**dict(base_params or {}), **dict(zip(axes, combo))})
+            for combo in combos
+        ]
+        rows: List[Row] = []
+        for spec, records in zip(specs, self.run_grid(specs, seeds)):
+            row: Row = {"scenario": scenario}
+            row.update({name: spec.params[name] for name in axes})
+            row["n"] = len(records)
+            for attribute in attributes:
+                values = [float(getattr(record.metrics, attribute)) for record in records]
+                row[f"{attribute}_mean"] = statistics.fmean(values)
+                row[f"{attribute}_ci95"] = confidence_interval(values)
+            rows.append(row)
+        return rows

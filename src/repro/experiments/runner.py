@@ -3,15 +3,21 @@
 The paper averages its linear-topology results over twenty independent
 runs (and its random-topology results over ten) and reports 95%
 confidence intervals.  :func:`replicate` runs a scenario builder over a
-list of seeds and :func:`average_metrics` /
-:func:`confidence_interval` aggregate the resulting metric values.
+list of seeds — serially with ``workers=1``, or fanned out over a
+process pool via :class:`~repro.experiments.parallel.ParallelRunner`
+otherwise — and :func:`average_metrics` / :func:`confidence_interval`
+aggregate the resulting metric values.  The aggregation helpers accept
+both live :class:`~repro.experiments.scenarios.ScenarioResult` objects
+and the picklable :class:`~repro.experiments.parallel.ScenarioRecord`
+summaries that parallel workers return; anything with a ``.metrics``
+attribute works.
 """
 
 from __future__ import annotations
 
 import math
 import statistics
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.experiments.metrics import ScenarioMetrics
 from repro.experiments.scenarios import ScenarioResult
@@ -26,11 +32,26 @@ _T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
 def replicate(
     builder: Callable[[int], ScenarioResult],
     seeds: Sequence[int],
-) -> List[ScenarioResult]:
-    """Run ``builder(seed)`` for every seed and return all results."""
+    workers: Optional[int] = 1,
+) -> Union[List[ScenarioResult], List["ScenarioRecord"]]:
+    """Run ``builder(seed)`` for every seed and return all results.
+
+    With ``workers=1`` (the default) the builders run serially in this
+    process and the live :class:`ScenarioResult` objects are returned —
+    exactly the historical semantics the reproducibility tests pin.
+    With ``workers=N`` (or ``workers=None`` for ``os.cpu_count()``) the
+    runs fan out over a process pool and the picklable
+    :class:`~repro.experiments.parallel.ScenarioRecord` summaries come
+    back instead, in seed order; the aggregation helpers below accept
+    either.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
-    return [builder(seed) for seed in seeds]
+    if workers == 1:
+        return [builder(seed) for seed in seeds]
+    from repro.experiments.parallel import ParallelRunner
+
+    return ParallelRunner(workers=workers).replicate(builder, seeds)
 
 
 def metric_values(results: Iterable[ScenarioResult], attribute: str) -> List[float]:

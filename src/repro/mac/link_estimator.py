@@ -16,6 +16,8 @@ from this estimator:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.util.ewma import EWMA, WindowedRate
 from repro.util.validation import require_positive
 
@@ -30,11 +32,14 @@ class LinkEstimator:
         attempts_alpha: float = 0.2,
         rate_window: float = 20.0,
         initial_loss: float = 0.1,
+        start: Optional[float] = None,
     ):
         self.neighbor_id = neighbor_id
         self._loss = EWMA(loss_alpha, initial=initial_loss)
         self._attempts = EWMA(attempts_alpha, initial=1.0)
-        self._tx_rate = WindowedRate(require_positive(rate_window, "rate_window"))
+        # `start` is when this estimator began observing the link (its
+        # creation time), so warm-up rates divide by the true observed span.
+        self._tx_rate = WindowedRate(require_positive(rate_window, "rate_window"), start=start)
         self.total_attempts = 0
         self.total_successes = 0
         self.packets_started = 0

@@ -121,7 +121,9 @@ class TdmaMac:
         self.on_packet_dropped: Optional[Callable[[object, str], None]] = None
 
         self._estimators: Dict[int, LinkEstimator] = {}
-        self._node_tx_rate = WindowedRate(self.config.estimator_window)
+        # The MAC observes from its construction time, so the meter's
+        # warm-up span starts now rather than at the first transmission.
+        self._node_tx_rate = WindowedRate(self.config.estimator_window, start=sim.now)
         self._busy = False
         self._energy_meter = stats.register_node(node_id)
 
@@ -136,6 +138,7 @@ class TdmaMac:
                 attempts_alpha=self.config.attempts_alpha,
                 rate_window=self.config.estimator_window,
                 initial_loss=self.channel.average_loss_probability(self.node_id, neighbor),
+                start=self.sim.now,
             )
         return self._estimators[neighbor]
 

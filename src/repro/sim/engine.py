@@ -101,8 +101,13 @@ class Simulator:
 
         Returns the number of events processed by this call.  When
         ``until`` is given the clock is advanced to exactly ``until`` at
-        the end of the run even if the queue drained earlier, so that
-        rate meters read a consistent "end of experiment" time.
+        the end of the run, so that rate meters read a consistent "end
+        of experiment" time — but only when no pending event remains
+        before ``until``.  If the loop stopped on ``max_events`` (or
+        :meth:`stop`) with earlier events still queued, fast-forwarding
+        would let a subsequent :meth:`run` pop those events with
+        ``event.time < now`` and move the clock backwards, so the clock
+        is left at the last executed event instead.
         """
         if self._running:
             raise RuntimeError("Simulator.run() is not re-entrant")
@@ -123,7 +128,12 @@ class Simulator:
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
-            if until is not None and self._now < until and not self._stopped:
+            if (
+                until is not None
+                and self._now < until
+                and not self._stopped
+                and (not self._queue or self._queue[0].time >= until)
+            ):
                 self._now = until
         finally:
             self._running = False

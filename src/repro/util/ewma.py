@@ -62,16 +62,26 @@ class WindowedRate:
     per second over the last ``window`` seconds.  Used for goodput
     measurement, MAC busy-fraction estimation and the short/long-term
     reception-rate plots of Figure 5.
+
+    During warm-up — before ``window`` seconds have been observed — the
+    divisor is the observed span rather than the full window, so early
+    readings are not systematically deflated.  Observation starts at
+    ``start`` if given, otherwise at the first recorded event; at the
+    exact first observed instant (zero span) the full window is used as
+    the divisor, since no span-based rate is defined yet.
     """
 
-    def __init__(self, window: float):
+    def __init__(self, window: float, start: Optional[float] = None):
         self.window = require_positive(window, "window")
         self._events: Deque[Tuple[float, float]] = deque()
         self._total = 0.0
         self._cumulative = 0.0
+        self._start = start
 
     def record(self, now: float, amount: float = 1.0) -> None:
         """Record ``amount`` units occurring at time ``now``."""
+        if self._start is None:
+            self._start = now
         self._events.append((now, amount))
         self._total += amount
         self._cumulative += amount
@@ -80,7 +90,12 @@ class WindowedRate:
     def rate(self, now: float) -> float:
         """Amount per second over the trailing window ending at ``now``."""
         self._expire(now)
-        return self._total / self.window
+        span = self.window
+        if self._start is not None:
+            observed = now - self._start
+            if observed > 0.0:
+                span = min(self.window, observed)
+        return self._total / span
 
     def fraction(self, now: float) -> float:
         """Amount divided by window length (for busy-time fractions)."""

@@ -131,6 +131,60 @@ class TestDiscard:
         assert len(cache) == 1
 
 
+class TestFlowIndexConsistency:
+    """The per-flow seq index must track every entry mutation path."""
+
+    def test_discard_up_to_after_eviction(self):
+        cache = PacketCache(capacity=3)
+        for seq in range(5):                      # seqs 0, 1 evicted
+            cache.insert(data_packet(seq=seq))
+        assert cache.discard_up_to(0, cumulative_ack=3) == 2  # only 2, 3 remain
+        assert (0, 4) in cache
+        assert len(cache) == 1
+
+    def test_discard_flow_after_partial_discards(self):
+        cache = PacketCache(capacity=10)
+        for seq in range(4):
+            cache.insert(data_packet(flow_id=1, seq=seq))
+        cache.discard(1, 2)
+        assert cache.discard_flow(1) == 3
+        assert cache.discard_flow(1) == 0
+        assert len(cache) == 0
+
+    def test_reinsert_does_not_double_count(self):
+        cache = PacketCache(capacity=10)
+        cache.insert(data_packet(seq=1))
+        cache.insert(data_packet(seq=1))
+        assert cache.occupancy_by_flow() == {0: 1}
+        assert cache.discard_up_to(0, 1) == 1
+
+    def test_discard_up_to_unknown_flow(self):
+        cache = PacketCache(capacity=10)
+        cache.insert(data_packet(flow_id=0, seq=1))
+        assert cache.discard_up_to(9, 100) == 0
+        assert len(cache) == 1
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=0, max_value=30)),
+                    min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=8))
+    def test_index_matches_entries_under_mixed_operations(self, ops, capacity):
+        cache = PacketCache(capacity=capacity)
+        for i, (flow_id, seq) in enumerate(ops):
+            action = (flow_id + seq + i) % 4
+            if action in (0, 1):
+                cache.insert(data_packet(flow_id=flow_id, seq=seq))
+            elif action == 2:
+                cache.discard_up_to(flow_id, seq)
+            else:
+                cache.discard_flow(flow_id)
+        expected = {}
+        for key in cache._entries:
+            expected[key[0]] = expected.get(key[0], 0) + 1
+        assert cache.occupancy_by_flow() == expected
+        assert sum(expected.values()) == len(cache)
+
+
 class TestSnackRetrieval:
     def test_retrieve_for_snack(self):
         cache = PacketCache(capacity=10)

@@ -85,6 +85,43 @@ def test_schedule_in_past_rejected():
         sim.schedule_at(0.5, lambda: None)
 
 
+def test_max_events_break_leaves_clock_at_last_event():
+    # Regression: breaking on max_events with events still queued before
+    # `until` must NOT fast-forward the clock to `until`, otherwise the
+    # next run() pops those events with event.time < now and the clock
+    # moves backwards.
+    sim = Simulator()
+    times = []
+    for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+        sim.schedule(t, lambda: times.append(sim.now))
+    sim.run(until=10.0, max_events=2)
+    assert sim.now == 2.0
+    assert sim.pending_events == 3
+
+
+def test_resume_after_max_events_never_rewinds_clock():
+    sim = Simulator()
+    observed = []
+    for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+        sim.schedule(t, lambda: observed.append(sim.now))
+    sim.run(until=10.0, max_events=2)
+    clock_before_resume = sim.now
+    sim.run(until=10.0)
+    assert observed == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert all(t >= clock_before_resume for t in observed[2:])
+    assert observed == sorted(observed)
+    assert sim.now == 10.0
+
+
+def test_until_still_fast_forwards_past_future_events():
+    # When the only queued events lie beyond `until`, the documented
+    # end-of-experiment fast-forward is preserved.
+    sim = Simulator()
+    sim.schedule(50.0, lambda: None)
+    sim.run(until=10.0, max_events=100)
+    assert sim.now == 10.0
+
+
 def test_max_events_bound():
     sim = Simulator()
 

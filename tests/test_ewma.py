@@ -59,16 +59,40 @@ class TestEWMA:
 
 
 class TestWindowedRate:
-    def test_rate_over_window(self):
+    def test_rate_over_full_window(self):
+        meter = WindowedRate(window=10.0)
+        for t in range(5):
+            meter.record(float(t * 3), 2.0)
+        # First record at t=0; by t=12 the full window has been observed,
+        # so the divisor is the window itself (events at 3, 6, 9, 12 remain).
+        assert meter.rate(12.0) == pytest.approx(8.0 / 10.0)
+
+    def test_warmup_divides_by_observed_span(self):
+        # Before `window` seconds have been observed, dividing by the full
+        # window would deflate the rate; the divisor is the observed span.
         meter = WindowedRate(window=10.0)
         for t in range(5):
             meter.record(float(t), 2.0)
-        assert meter.rate(5.0) == pytest.approx(1.0)
+        assert meter.rate(5.0) == pytest.approx(10.0 / 5.0)
+
+    def test_warmup_rate_at_first_instant_uses_window(self):
+        # Zero observed span: no span-based rate is defined yet, so the
+        # meter falls back to the full-window convention.
+        meter = WindowedRate(window=4.0)
+        meter.record(0.0, 2.0)
+        assert meter.rate(0.0) == pytest.approx(0.5)
+
+    def test_explicit_start_time_counts_idle_warmup(self):
+        # A meter told it started observing at t=0 divides by the span
+        # since then, not since its (later) first event.
+        meter = WindowedRate(window=10.0, start=0.0)
+        meter.record(4.0, 3.0)
+        assert meter.rate(5.0) == pytest.approx(3.0 / 5.0)
 
     def test_events_expire(self):
         meter = WindowedRate(window=10.0)
         meter.record(0.0, 5.0)
-        assert meter.rate(5.0) == pytest.approx(0.5)
+        assert meter.rate(5.0) == pytest.approx(1.0)  # warm-up span is 5 s
         assert meter.rate(20.0) == 0.0
 
     def test_cumulative_never_expires(self):

@@ -1,0 +1,148 @@
+"""Parallel replication: records, specs, determinism, sweeps."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ScenarioRecord,
+    ScenarioSpec,
+    spawn_seeds,
+)
+from repro.experiments.runner import replicate, summarize
+from repro.experiments.scenarios import ScenarioResult
+
+SMALL_LINEAR = dict(num_nodes=3, transfer_bytes=10_000, num_flows=1, duration=200)
+
+
+class TestScenarioSpec:
+    def test_spec_builds_a_scenario(self):
+        result = ScenarioSpec("linear", SMALL_LINEAR)(seed=1)
+        assert isinstance(result, ScenarioResult)
+        assert result.metrics.num_nodes == 3
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec("ring", {})
+
+    def test_seed_in_params_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec("linear", {"num_nodes": 3, "seed": 1})
+
+    def test_spec_is_picklable(self):
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestScenarioRecord:
+    def test_record_is_picklable_and_carries_metrics(self):
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        record = ScenarioRecord.from_result(spec(seed=1), 1, spec.scenario, spec.params)
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone == record
+        assert clone.seed == 1
+        assert clone.scenario == "linear"
+        assert clone.params["num_nodes"] == 3
+        assert clone.metrics.energy_joules > 0
+
+    def test_record_holds_no_simulator_state(self):
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        record = ScenarioRecord.from_result(spec(seed=1), 1)
+        assert not hasattr(record, "network")
+
+
+class TestParallelRunner:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_replicate_requires_seeds(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=1).replicate(ScenarioSpec("linear", SMALL_LINEAR), [])
+
+    def test_parallel_matches_serial_bit_identically(self):
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        seeds = [1, 2, 3, 4]
+        serial = ParallelRunner(workers=1).replicate(spec, seeds)
+        parallel = ParallelRunner(workers=4).replicate(spec, seeds)
+        assert parallel == serial
+        for attribute in ("energy_per_bit_microjoules", "goodput_kbps", "delivered_fraction"):
+            assert summarize(parallel, attribute) == summarize(serial, attribute)
+
+    def test_lambda_builder_fans_out_on_fork_platforms(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)  # noqa: E731
+        records = ParallelRunner(workers=2).replicate(builder, [1, 2])
+        assert [r.seed for r in records] == [1, 2]
+        assert records == ParallelRunner(workers=1).replicate(builder, [1, 2])
+
+    def test_run_grid_aligns_records_with_specs(self):
+        specs = [
+            ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size))
+            for size in (3, 4)
+        ]
+        per_spec = ParallelRunner(workers=2).run_grid(specs, [1, 2])
+        assert len(per_spec) == 2
+        for spec, records in zip(specs, per_spec):
+            assert [r.seed for r in records] == [1, 2]
+            assert all(r.metrics.num_nodes == spec.params["num_nodes"] for r in records)
+
+
+class TestSweep:
+    def test_sweep_rows_echo_grid_and_carry_cis(self):
+        rows = ParallelRunner(workers=2).sweep(
+            "linear",
+            grid={"num_nodes": (3, 4), "protocol": ("jtp",)},
+            seeds=[1, 2],
+            base_params=dict(transfer_bytes=10_000, num_flows=1, duration=200),
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["scenario"] == "linear"
+            assert row["protocol"] == "jtp"
+            assert row["n"] == 2
+            assert row["energy_per_bit_microjoules_mean"] > 0
+            assert row["energy_per_bit_microjoules_ci95"] >= 0
+            assert row["goodput_kbps_mean"] > 0
+        assert [row["num_nodes"] for row in rows] == [3, 4]
+
+    def test_sweep_derives_seeds_from_count(self):
+        rows = ParallelRunner(workers=1).sweep(
+            "linear",
+            grid={"num_nodes": (3,)},
+            seeds=2,
+            base_params=dict(transfer_bytes=10_000, num_flows=1, duration=200),
+        )
+        assert rows[0]["n"] == 2
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+        assert len(set(spawn_seeds(7, 5))) == 5
+        assert spawn_seeds(7, 5) != spawn_seeds(8, 5)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, 0)
+
+
+class TestReplicateRewiring:
+    def test_workers_one_returns_live_results(self):
+        results = replicate(
+            lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed),
+            seeds=[1, 2],
+            workers=1,
+        )
+        assert all(isinstance(r, ScenarioResult) for r in results)
+
+    def test_parallel_replicate_returns_records(self):
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        records = replicate(spec, seeds=[1, 2], workers=2)
+        assert all(isinstance(r, ScenarioRecord) for r in records)
+        serial = replicate(spec, seeds=[1, 2], workers=1)
+        assert [r.metrics for r in records] == [r.metrics for r in serial]
