@@ -1,6 +1,6 @@
 """Figure 10 — JTP vs ATP vs TCP on static random topologies."""
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -9,7 +9,7 @@ from repro.experiments.report import format_table
 def test_figure10_random_topologies(benchmark):
     rows = run_once(
         benchmark, figures.figure10,
-        net_sizes=(10, 15), protocols=("jtp", "atp", "tcp"), seeds=(1, 2),
+        net_sizes=(10, 15), protocols=("jtp", "atp", "tcp"), seeds=bench_seeds("random"),
         num_flows=5, transfer_bytes=80_000, duration=900, workers=bench_workers(),
     )
     print()

@@ -5,7 +5,7 @@ plus the split between end-to-end (source) retransmissions and local
 cache recoveries (11c) for JTP.
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -14,7 +14,7 @@ from repro.experiments.report import format_table
 def test_figure11_mobility(benchmark):
     rows = run_once(
         benchmark, figures.figure11,
-        speeds=(0.1, 1.0, 5.0), protocols=("jtp", "tcp"), seeds=(1,),
+        speeds=(0.1, 1.0, 5.0), protocols=("jtp", "tcp"), seeds=bench_seeds("random"),
         num_nodes=15, num_flows=4, transfer_bytes=60_000, duration=900,
         workers=bench_workers(),
     )

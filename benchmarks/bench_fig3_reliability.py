@@ -5,7 +5,7 @@ with the application requirement (3b), and the per-packet link-layer
 attempt bound over time at the third node of a 4-node path (3c).
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_series, format_table
@@ -14,7 +14,7 @@ from repro.experiments.report import format_series, format_table
 def test_figure3_energy_and_delivery(benchmark):
     rows = run_once(
         benchmark, figures.figure3,
-        net_sizes=(3, 5, 7), tolerances=(0.0, 0.10, 0.20), seeds=(1, 2),
+        net_sizes=(3, 5, 7), tolerances=(0.0, 0.10, 0.20), seeds=bench_seeds(),
         transfer_bytes=100_000, duration=800, workers=bench_workers(),
     )
     print()

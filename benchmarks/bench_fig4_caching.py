@@ -4,7 +4,7 @@ Regenerates: energy per delivered bit vs. net size (4a) and the
 per-node energy distribution on a 7-node chain (4b).
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -13,7 +13,7 @@ from repro.experiments.report import format_table
 def test_figure4_energy_per_bit(benchmark):
     rows = run_once(
         benchmark, figures.figure4,
-        net_sizes=(3, 5, 7, 9), seeds=(1, 2), transfer_bytes=80_000, duration=1000,
+        net_sizes=(3, 5, 7, 9), seeds=bench_seeds(), transfer_bytes=80_000, duration=1000,
         workers=bench_workers(),
     )
     print()
@@ -33,7 +33,7 @@ def test_figure4_energy_per_bit(benchmark):
 def test_figure4b_per_node_energy(benchmark):
     rows = run_once(
         benchmark, figures.figure4b,
-        num_nodes=7, seeds=(1,), transfer_bytes=80_000, duration=1000,
+        num_nodes=7, seeds=bench_seeds(), transfer_bytes=80_000, duration=1000,
         workers=bench_workers(),
     )
     print()

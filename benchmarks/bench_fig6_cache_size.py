@@ -5,7 +5,7 @@ for two network sizes, showing the knee once caches are large enough to
 hold a feedback period's worth of packets.
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -15,7 +15,7 @@ def test_figure6_cache_size(benchmark):
     rows = run_once(
         benchmark, figures.figure6,
         cache_sizes=(2, 5, 10, 30, 100), net_sizes=(5, 8),
-        transfer_bytes=100_000, duration=900, seeds=(1,), workers=bench_workers(),
+        transfer_bytes=100_000, duration=900, seeds=bench_seeds(), workers=bench_workers(),
     )
     print()
     print(format_table(rows, title="Figure 6: source retransmissions vs cache size"))

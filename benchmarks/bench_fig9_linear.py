@@ -4,7 +4,7 @@ Regenerates energy per delivered bit (9a) and per-flow goodput (9b)
 against network size with two competing end-to-end flows.
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -13,7 +13,7 @@ from repro.experiments.report import format_table
 def test_figure9_linear_comparison(benchmark):
     rows = run_once(
         benchmark, figures.figure9,
-        net_sizes=(3, 5, 7), protocols=("jtp", "atp", "tcp"), seeds=(1, 2),
+        net_sizes=(3, 5, 7), protocols=("jtp", "atp", "tcp"), seeds=bench_seeds(),
         transfer_bytes=250_000, duration=1000, workers=bench_workers(),
     )
     print()

@@ -5,7 +5,7 @@ links and a Poisson transfer workload, comparing JTP, ATP and TCP on
 energy per delivered bit and average goodput.
 """
 
-from conftest import bench_workers, run_once
+from conftest import bench_seeds, bench_workers, run_once
 
 from repro.experiments import figures
 from repro.experiments.report import format_table
@@ -14,7 +14,7 @@ from repro.experiments.report import format_table
 def test_table2_testbed(benchmark):
     rows = run_once(
         benchmark, figures.table2,
-        protocols=("jtp", "atp", "tcp"), duration=1200, seeds=(1,), num_nodes=14,
+        protocols=("jtp", "atp", "tcp"), duration=1200, seeds=bench_seeds("random"), num_nodes=14,
         workers=bench_workers(),
     )
     print()

@@ -1,38 +1,72 @@
 """Shared helpers for the benchmark harness.
 
 Each benchmark regenerates one of the paper's tables or figures at a
-reduced scale (fewer seeds, shorter runs) and prints the resulting rows
-or series, so the harness output reads like the paper's evaluation
-section.  Every experiment function accepts the full paper-scale
-parameters if you want the long version.
+reduced scale (the smoke preset: fewer seeds, shorter runs) and prints
+the resulting rows or series, so the harness output reads like the
+paper's evaluation section.  Every experiment function accepts the full
+paper-scale parameters if you want the long version — the paper seed
+counts live in :mod:`repro.experiments.presets` (``PAPER_LINEAR=20``,
+``PAPER_RANDOM=10``).
 
 Invocation (the ``bench_*.py`` names do not match pytest's default
 ``test_*.py`` collection pattern, so name the files explicitly)::
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -q -s
+    python -m pytest benchmarks/bench_*.py -q -s
 
-The tier-1 correctness gate stays ``PYTHONPATH=src python -m pytest -x
--q`` from the repository root; the benchmarks are additive.  Set
-``REPRO_WORKERS`` to control the process-pool fan-out of the parallel
-figure drivers (unset = one worker per core, ``1`` = serial).
+The tier-1 correctness gate stays ``python -m pytest -x -q`` from the
+repository root; the benchmarks are additive.  Environment knobs:
+
+``REPRO_WORKERS``
+    Executor parallelism for the metric-only figure drivers.  Unset
+    means the shared persistent process pool with one worker per core;
+    ``0`` (or ``1``) means the serial backend — no pool at all.
+``REPRO_SEEDS``
+    Replication count per figure cell, overriding the smoke preset.
+    Expanded deterministically via
+    :func:`repro.experiments.parallel.spawn_seeds`.
+``REPRO_BENCH_NO_ASSERT``
+    When set (non-empty), ``bench_parallel_scaling.py`` skips its
+    wall-clock assertions (CI noise) while keeping the bit-identity
+    assertions — pool regressions still fail the run.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
+
+from repro.experiments.backends import workers_from_env
+from repro.experiments.presets import preset_seeds
 
 
 def bench_workers() -> Optional[int]:
-    """Worker count for the parallel figure drivers.
+    """Worker count for the parallel figure drivers (``REPRO_WORKERS``).
 
-    Reads ``REPRO_WORKERS``; unset means ``None`` (the figures then
-    default to ``os.cpu_count()``).  Set ``REPRO_WORKERS=1`` to force
-    the historical serial execution — the rows are bit-identical either
-    way, only the wall-clock changes.
+    Unset means ``None`` — the figures then use the shared persistent
+    process pool with one worker per core.  ``0`` and ``1`` both select
+    the serial backend; the rows are bit-identical either way, only the
+    wall-clock changes.
     """
-    value = os.environ.get("REPRO_WORKERS", "").strip()
-    return int(value) if value else None
+    return workers_from_env(default=None)
+
+
+def bench_seeds(family: str = "linear") -> Tuple[int, ...]:
+    """Seed list for a figure driver: the smoke preset, or ``REPRO_SEEDS``.
+
+    The smoke preset mirrors the paper's 20:10 linear-to-random
+    replication ratio at CI scale (2 seeds for linear figures, 1 for
+    random/mobile/testbed ones).  Set ``REPRO_SEEDS=N`` to replicate
+    every cell over ``N`` deterministically-derived seeds instead.
+    """
+    value = os.environ.get("REPRO_SEEDS", "").strip()
+    if value:
+        return preset_seeds(int(value), family=family)
+    return preset_seeds("smoke", family=family)
+
+
+def bench_no_assert() -> bool:
+    """Whether wall-clock assertions are disabled (``REPRO_BENCH_NO_ASSERT``)."""
+    return bool(os.environ.get("REPRO_BENCH_NO_ASSERT", "").strip())
 
 
 def run_once(benchmark, experiment: Callable, *args, **kwargs):

@@ -5,37 +5,61 @@ increasing length under JTP, the ATP-like explicit-rate baseline and
 rate-paced TCP-SACK, and prints energy per delivered bit and per-flow
 goodput for each — a scaled-down regeneration of the paper's Figure 9.
 
-The per-seed runs fan out over a process pool; ``--workers 1`` forces
-serial execution and ``--seeds N`` scales the replication up.  The
-printed rows are bit-identical for any worker count.
+The per-seed runs execute on a pluggable backend: ``--backend process``
+(the default) fans out over a persistent process pool, ``--backend
+serial`` (or ``--workers 0``) runs in-process, and ``--backend thread``
+uses the thread pool.  ``--seeds N`` scales the replication; ``--paper``
+uses the paper's replication count (:data:`PAPER_LINEAR` seeds per
+cell).  The printed rows are bit-identical for every backend and worker
+count.
 
 Run with::
 
-    python examples/protocol_shootout.py [--workers N] [--seeds N]
+    python examples/protocol_shootout.py [--workers N] [--backend NAME] [--seeds N | --paper]
 """
 
 import argparse
 
+from repro.experiments.backends import BACKENDS, make_backend, resolve_backend
 from repro.experiments.figures import figure9
-from repro.experiments.parallel import spawn_seeds
+from repro.experiments.presets import PAPER_LINEAR, SMOKE_LINEAR, preset_seeds
 from repro.experiments.report import format_table
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes (default: one per CPU core; 1 = serial)")
-    parser.add_argument("--seeds", type=int, default=1,
-                        help="independent replications per cell (default: 1)")
+                        help="worker count (default: one per CPU core; 0 or 1 = serial)")
+    parser.add_argument("--backend", choices=sorted(set(BACKENDS) - {"async"}), default=None,
+                        help="executor backend (default: the shared persistent process pool; "
+                             "'async' is an API stub and not runnable)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help=f"independent replications per cell (default: {SMOKE_LINEAR})")
+    parser.add_argument("--paper", action="store_true",
+                        help=f"use the paper's replication count ({PAPER_LINEAR} seeds per cell)")
     args = parser.parse_args()
+
+    if args.paper:
+        seeds = preset_seeds("paper", family="linear")
+    elif args.seeds is not None:
+        seeds = preset_seeds(args.seeds, family="linear")
+    else:
+        seeds = preset_seeds("smoke", family="linear")
+
+    if args.backend is not None:
+        # Passed verbatim: pooled backends reject workers<=0 loudly
+        # rather than silently falling back to a cpu_count pool.
+        backend = make_backend(args.backend, workers=args.workers)
+    else:
+        backend = resolve_backend(workers=args.workers)
 
     rows = figure9(
         net_sizes=(3, 5, 7),
         protocols=("jtp", "atp", "tcp"),
-        seeds=spawn_seeds(base_seed=1, count=args.seeds) if args.seeds > 1 else (1,),
+        seeds=seeds,
         transfer_bytes=200_000,
         duration=1000.0,
-        workers=args.workers,
+        backend=backend,
     )
     print(format_table(
         rows,

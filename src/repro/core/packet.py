@@ -21,9 +21,9 @@ slightly larger than the optimised 28-byte layout of Figure 2.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.util.units import bits_from_bytes
 

@@ -12,7 +12,7 @@ whenever the flip-flop monitor flags a persistent path change.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Optional, Set, Tuple
 
 from repro.core.config import JTPConfig
 from repro.core.feedback import FeedbackScheduler

@@ -7,13 +7,38 @@
   (static linear, static random, mobile random, testbed-like);
 * :mod:`repro.experiments.runner` — runs scenarios, replicates them over
   seeds and aggregates with confidence intervals;
+* :mod:`repro.experiments.backends` — pluggable executor backends
+  (:class:`SerialBackend`, the persistent shared :class:`ProcessBackend`
+  pool, :class:`ThreadBackend`, and the :class:`AsyncBackend` stub for
+  the future multi-machine executor);
 * :mod:`repro.experiments.parallel` — :class:`ParallelRunner` fans
-  replications and parameter sweeps out over a process pool, returning
+  replications and parameter sweeps out over a backend, returning
   picklable :class:`ScenarioRecord` summaries (bit-identical aggregates
-  for any worker count);
+  for any backend and worker count);
+* :mod:`repro.experiments.presets` — paper-scale seed presets
+  (``PAPER_LINEAR=20``, ``PAPER_RANDOM=10``, smoke presets for CI) and
+  the :func:`run_paper` full-paper driver;
 * :mod:`repro.experiments.figures` — one function per figure/table
   (``figure3`` … ``figure11``, ``table2``) returning structured rows;
 * :mod:`repro.experiments.report` — plain-text table rendering.
+
+Usage::
+
+    from repro.experiments import ProcessBackend, figures, run_paper
+
+    # Everything below shares one persistent worker pool (the default):
+    all_rows = run_paper(seeds="paper")            # full paper-scale run
+    smoke = run_paper(seeds="smoke", workers=2)    # the CI smoke run
+
+    # Figures take the same workers=/backend= knobs individually:
+    rows = figures.figure9(workers=4)              # shared 4-worker pool
+    rows = figures.figure9(workers=0)              # serial, no pool
+    with ProcessBackend(workers=8) as backend:     # private pool
+        rows = figures.figure9(backend=backend)
+
+The executor invariant throughout: every run is fully determined by its
+seed and records return in submission order, so aggregates are
+bit-identical whichever backend runs them.
 """
 
 from repro.experiments.metrics import ScenarioMetrics, collect_metrics, jains_fairness_index
@@ -28,11 +53,32 @@ from repro.experiments.scenarios import (
     testbed_scenario,
 )
 from repro.experiments.runner import average_metrics, confidence_interval, replicate
+from repro.experiments.backends import (
+    AsyncBackend,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    close_shared_backends,
+    make_backend,
+    resolve_backend,
+    shared_backend,
+    workers_from_env,
+)
 from repro.experiments.parallel import (
     ParallelRunner,
     ScenarioRecord,
     ScenarioSpec,
     spawn_seeds,
+)
+from repro.experiments.presets import (
+    METRIC_FIGURES,
+    PAPER_LINEAR,
+    PAPER_RANDOM,
+    SMOKE_LINEAR,
+    SMOKE_RANDOM,
+    preset_seeds,
+    run_paper,
 )
 from repro.experiments.report import format_table
 from repro.experiments import figures
@@ -52,10 +98,27 @@ __all__ = [
     "average_metrics",
     "confidence_interval",
     "replicate",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "AsyncBackend",
+    "make_backend",
+    "resolve_backend",
+    "shared_backend",
+    "close_shared_backends",
+    "workers_from_env",
     "ParallelRunner",
     "ScenarioRecord",
     "ScenarioSpec",
     "spawn_seeds",
+    "METRIC_FIGURES",
+    "PAPER_LINEAR",
+    "PAPER_RANDOM",
+    "SMOKE_LINEAR",
+    "SMOKE_RANDOM",
+    "preset_seeds",
+    "run_paper",
     "format_table",
     "figures",
 ]

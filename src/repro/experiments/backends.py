@@ -1,0 +1,448 @@
+"""Pluggable executor backends for the experiment harness.
+
+A full-paper reproduction is a long sequence of figure calls, each of
+which fans replicated simulation runs out over workers.  Historically
+every call built (and tore down) its own process pool, so a multi-figure
+run paid fork/teardown cost once per figure.  This module turns the
+execution strategy into a first-class object:
+
+* :class:`ExecutorBackend` — the abstract strategy.  A backend maps a
+  picklable function over a list of items, **in order**, and owns
+  whatever worker resources that takes.  Backends are context managers
+  and are safe to close more than once; a closed backend restarts
+  lazily on its next use.
+* :class:`SerialBackend` — runs everything in the calling process, no
+  pool at all.  Byte-for-byte the historical ``workers=1`` semantics
+  that the reproducibility tests pin.
+* :class:`ProcessBackend` — a **persistent**, lazily-started process
+  pool.  The pool is created on first use and then reused across figure
+  calls (the same worker PIDs serve every call), amortising fork cost
+  over a whole paper run.  Closed via :meth:`~ExecutorBackend.close`,
+  ``with``-block exit, or the module's ``atexit`` hook.
+* :class:`ThreadBackend` — the same lifecycle on a thread pool.  The
+  simulator is pure Python, so threads serialise on the GIL and this
+  backend exists mainly to pin the API (and the bit-identity invariant)
+  for executors that share the caller's address space.
+* :class:`AsyncBackend` — a stub reserving the API for the planned
+  multi-machine/async backend (ROADMAP).  Construction works and
+  carries the future endpoint configuration; :meth:`~AsyncBackend.map`
+  raises :class:`NotImplementedError` until a scheduler exists.
+
+Module helpers:
+
+* :func:`shared_backend` — the per-process registry of shared
+  :class:`ProcessBackend` instances, keyed by worker count.  This is
+  what makes "one pool for the whole paper run" the default: every
+  figure call that asks for the same worker count gets the same pool.
+* :func:`resolve_backend` — the single place that turns a
+  ``workers=``/``backend=`` pair into a backend instance.  ``workers``
+  of ``0`` or ``1`` mean :class:`SerialBackend`; anything else is a
+  shared :class:`ProcessBackend`.
+* :func:`workers_from_env` — ``REPRO_WORKERS`` plumbing shared by the
+  benchmark harness and the examples (``0`` means the serial backend).
+
+Every backend must preserve the harness invariant: because each
+simulation run is fully determined by its seed and results come back in
+submission order, **aggregates are bit-identical no matter which backend
+ran them**.  ``tests/test_backends.py`` pins that cross-backend.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "AsyncBackend",
+    "BACKENDS",
+    "make_backend",
+    "resolve_backend",
+    "shared_backend",
+    "close_shared_backends",
+    "workers_from_env",
+]
+
+
+def workers_from_env(default: Optional[int] = None) -> Optional[int]:
+    """Worker count requested via the ``REPRO_WORKERS`` environment variable.
+
+    Unset (or empty) returns ``default``.  ``0`` consistently means "use
+    the serial backend" everywhere the variable is honoured —
+    :func:`resolve_backend` maps both ``0`` and ``1`` to
+    :class:`SerialBackend`.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return default
+    workers = int(value)
+    if workers < 0:
+        raise ValueError(f"REPRO_WORKERS must be >= 0, got {workers}")
+    return workers
+
+
+class ExecutorBackend(ABC):
+    """Execution strategy: map a function over items, preserving order.
+
+    Subclasses own their worker resources.  The contract every backend
+    must honour:
+
+    * :meth:`map` returns one result per item, **in item order** — that
+      ordering (plus seed-determinism of the simulations) is what makes
+      aggregates bit-identical across backends.
+    * :meth:`close` is idempotent, and a closed backend may be used
+      again: resources restart lazily on the next :meth:`map`.
+    * Backends are context managers; leaving the ``with`` block closes
+      them.
+    """
+
+    #: Short backend name, also the key in :data:`BACKENDS`.
+    name: str = "abstract"
+    #: Degree of parallelism this backend was configured for.
+    workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Apply ``fn`` to every item and return the results in order."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; lazily restarts on reuse)."""
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the backend currently holds live worker resources."""
+        return False
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every task inline in the calling process — no pool at all.
+
+    This is exactly the historical ``workers=1`` execution the
+    reproducibility tests pin, and what ``workers=0`` (e.g. via
+    ``REPRO_WORKERS=0``) resolves to.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        return [fn(item) for item in items]
+
+
+def _positive_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 for a pooled backend, got {workers}")
+    return workers
+
+
+#: Work inherited by forked workers when a payload cannot be pickled
+#: (e.g. a lambda builder).  Set immediately before the one-shot fork
+#: pool is created; children fork lazily on first submission and see it.
+#: _INHERITED_LOCK serialises concurrent fallback calls so one call's
+#: children cannot inherit another call's work.
+_INHERITED_WORK: Optional[Tuple[Callable, Sequence]] = None
+_INHERITED_LOCK = threading.Lock()
+
+
+def _run_inherited(index: int):
+    fn, items = _INHERITED_WORK
+    return fn(items[index])
+
+
+#: Every live ProcessBackend, so the atexit hook can close stray pools.
+_LIVE_PROCESS_BACKENDS: "weakref.WeakSet[ProcessBackend]" = weakref.WeakSet()
+
+
+def _close_live_process_backends() -> None:
+    for backend in list(_LIVE_PROCESS_BACKENDS):
+        backend.close()
+
+
+atexit.register(_close_live_process_backends)
+
+
+class _PooledBackend(ExecutorBackend):
+    """Shared lifecycle for pool-owning backends: lazy start, reuse, restart.
+
+    Subclasses provide :meth:`_make_pool`; everything else — the
+    worker-count validation, the lock-guarded lazy start, idempotent
+    :meth:`close` and lazy restart after it — lives here once, so
+    process, thread and future pooled backends cannot drift apart.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = _positive_workers(workers)
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    @property
+    def is_running(self) -> bool:
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        items = list(items)
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+
+class ProcessBackend(_PooledBackend):
+    """A persistent, lazily-started process pool reused across calls.
+
+    The pool is created on the first :meth:`map` and kept alive until
+    :meth:`close` (or interpreter exit — an ``atexit`` hook closes every
+    stray backend), so a sequence of figure calls shares one set of
+    worker processes instead of forking a fresh pool per figure.
+
+    Payloads normally travel by pickle, which is what allows the pool to
+    outlive any single call.  On platforms with the ``fork`` start
+    method, unpicklable payloads (lambda or closure builders) still
+    work: they fall back to a one-shot forked pool whose children
+    inherit the work instead of unpickling it — correct, but without
+    pool reuse (the persistent pool is quiesced first).  On spawn-only
+    platforms such payloads raise.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(workers)
+        _LIVE_PROCESS_BACKENDS.add(self)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+
+    def worker_pids(self) -> FrozenSet[int]:
+        """PIDs of the live pool processes (empty before first use / after close)."""
+        with self._lock:
+            if self._pool is None:
+                return frozenset()
+            return frozenset(self._pool._processes or ())
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        items = list(items)
+        if not items:
+            return []
+        # Pre-flight the whole payload: falling back *after* the pool
+        # has started executing part of it would re-run work, and the
+        # payload (specs + seeds) is microseconds to pickle next to the
+        # simulations it describes.
+        try:
+            pickle.dumps((fn, items))
+        except Exception:
+            return self._map_inherited(fn, items)
+        try:
+            return list(self._ensure_pool().map(fn, items))
+        except BrokenProcessPool:
+            # A dead worker (OOM kill, crash) breaks the executor for
+            # good; a persistent pool must not stay poisoned for every
+            # later figure call.  Tasks are pure and seed-determined,
+            # so discarding the broken pool and re-running the batch on
+            # a fresh one is safe.  If the fresh pool breaks too, reset
+            # again so the *next* call still starts clean, and raise.
+            self.close()
+            try:
+                return list(self._ensure_pool().map(fn, items))
+            except BrokenProcessPool:
+                self.close()
+                raise
+
+    def _map_inherited(self, fn: Callable, items: List) -> List:
+        """One-shot forked pool for unpicklable payloads (no pool reuse)."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise TypeError(
+                "the task payload is not picklable and this platform has no fork "
+                "start method; use a picklable builder such as ScenarioSpec"
+            )
+        # Forking while the persistent pool's manager/feeder threads are
+        # alive risks the classic fork-with-threads deadlock (a child
+        # inheriting a held queue lock).  Quiesce the pool first; it
+        # restarts lazily on the next picklable call.
+        self.close()
+        global _INHERITED_WORK
+        with _INHERITED_LOCK:
+            _INHERITED_WORK = (fn, items)
+            try:
+                context = multiprocessing.get_context("fork")
+                max_workers = min(self.workers, len(items))
+                with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+                    return list(pool.map(_run_inherited, range(len(items))))
+            finally:
+                _INHERITED_WORK = None
+
+
+class ThreadBackend(_PooledBackend):
+    """A persistent thread pool with the same lifecycle as :class:`ProcessBackend`.
+
+    The simulator is pure Python, so threads serialise on the GIL and
+    this backend brings no speedup today.  It exists to pin the backend
+    API (lazy start, reuse, close/restart, ordered results,
+    bit-identical aggregates) for executors that share the caller's
+    address space — the template the future multi-machine/async backend
+    builds on.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-backend",
+        )
+
+
+class AsyncBackend(ExecutorBackend):
+    """Placeholder for the multi-machine / async backend named in ROADMAP.
+
+    The constructor pins down the configuration surface (an ``endpoint``
+    naming the remote scheduler plus a parallelism hint) and the class
+    participates fully in the backend protocol — construction, context
+    management and :meth:`close` all work — but :meth:`map` raises
+    :class:`NotImplementedError` until a scheduler exists.  Tests assert
+    this exact behaviour so the API cannot drift before the
+    implementation lands.
+    """
+
+    name = "async"
+
+    def __init__(self, endpoint: Optional[str] = None, workers: Optional[int] = None) -> None:
+        self.endpoint = endpoint
+        self.workers = _positive_workers(workers)
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        raise NotImplementedError(
+            "AsyncBackend is an API placeholder for the multi-machine backend; "
+            "use SerialBackend, ProcessBackend or ThreadBackend to execute work"
+        )
+
+
+def _serial_factory(workers: Optional[int] = None) -> SerialBackend:
+    if workers is not None and int(workers) > 1:
+        raise ValueError(
+            f"the serial backend runs in-process; workers={workers} conflicts "
+            "(use the process or thread backend for parallelism)"
+        )
+    return SerialBackend()
+
+
+#: Backend registry for CLI flags and configuration strings.
+BACKENDS: Dict[str, Callable[..., ExecutorBackend]] = {
+    "serial": _serial_factory,
+    "process": ProcessBackend,
+    "thread": ThreadBackend,
+    "async": AsyncBackend,
+}
+
+
+def make_backend(name: str, workers: Optional[int] = None) -> ExecutorBackend:
+    """Build a backend by registry name (``serial``/``process``/``thread``/``async``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from None
+    return factory(workers=workers)
+
+
+# -- the shared default pool -----------------------------------------------------------
+
+_SHARED_BACKENDS: Dict[int, ProcessBackend] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_backend(workers: Optional[int] = None) -> ProcessBackend:
+    """The shared :class:`ProcessBackend` for the given worker count.
+
+    Backends are cached per worker count for the life of the process, so
+    every figure call asking for the same parallelism reuses one pool.
+    ``workers=None`` means ``os.cpu_count()``.  Shared backends must not
+    be closed by individual callers — :func:`close_shared_backends` (or
+    interpreter exit) tears them down; a closed shared backend restarts
+    lazily if used again.
+    """
+    key = _positive_workers(workers)
+    with _SHARED_LOCK:
+        backend = _SHARED_BACKENDS.get(key)
+        if backend is None:
+            backend = ProcessBackend(workers=key)
+            _SHARED_BACKENDS[key] = backend
+        return backend
+
+
+def close_shared_backends() -> None:
+    """Close and forget every shared backend (they restart lazily on reuse)."""
+    with _SHARED_LOCK:
+        backends = list(_SHARED_BACKENDS.values())
+        _SHARED_BACKENDS.clear()
+    for backend in backends:
+        backend.close()
+
+
+def resolve_backend(
+    workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
+) -> ExecutorBackend:
+    """Turn a ``workers=`` / ``backend=`` pair into a backend instance.
+
+    Exactly one of the two may be given.  An explicit ``backend`` is
+    returned as-is.  Otherwise ``workers`` selects a backend: ``0`` or
+    ``1`` mean :class:`SerialBackend` (the historical serial semantics;
+    ``REPRO_WORKERS=0`` lands here), and ``None`` or ``N > 1`` mean the
+    :func:`shared_backend` process pool for that worker count.
+    """
+    if backend is not None:
+        if workers is not None:
+            raise ValueError("pass either workers= or backend=, not both")
+        return backend
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1:
+        # Matches the historical semantics: one worker (or a one-core
+        # machine) runs serially in-process, with no pool at all.
+        return SerialBackend()
+    return shared_backend(workers)

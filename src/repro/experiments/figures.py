@@ -10,12 +10,18 @@ turned back up.
 
 The figures that only need per-run metrics (3, 4, 4b, 6, 9, 10, 11 and
 Table 2) fan their independent runs out over a
-:class:`~repro.experiments.parallel.ParallelRunner` process pool; their
-``workers`` parameter defaults to ``os.cpu_count()`` and ``workers=1``
-forces the historical serial execution.  Either way the rows are
+:class:`~repro.experiments.parallel.ParallelRunner`.  Their ``workers``
+parameter defaults to the shared persistent process pool (one worker per
+core, reused across figure calls so a multi-figure run forks exactly one
+pool); ``workers=0`` or ``1`` force the historical serial execution, and
+``backend=`` accepts any
+:class:`~repro.experiments.backends.ExecutorBackend` instance — pass
+one of ``workers``/``backend``, not both.  Either way the rows are
 bit-identical, because every run is fully determined by its seed.  The
 figures that inspect live simulator state after the run (3c, 5, 7, 8)
-always execute serially in-process.
+always execute serially in-process.  ``repro.experiments.presets``
+names the paper-scale seed counts and drives all of these figures
+through one shared pool (:func:`~repro.experiments.presets.run_paper`).
 
 The mapping to the paper:
 
@@ -39,9 +45,10 @@ The mapping to the paper:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
+from repro.experiments.backends import ExecutorBackend
 from repro.experiments.parallel import ParallelRunner, ScenarioSpec
 from repro.experiments.runner import confidence_interval
 from repro.experiments.scenarios import (
@@ -70,6 +77,7 @@ def figure3(
     transfer_bytes: float = 120_000.0,
     duration: float = 900.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figures 3(a) and 3(b): energy and delivered data per reliability level."""
     cells = [(size, tolerance) for size in net_sizes for tolerance in tolerances]
@@ -85,7 +93,7 @@ def figure3(
         for size, tolerance in cells
     ]
     rows: List[Row] = []
-    for (size, tolerance), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+    for (size, tolerance), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         energies = [r.metrics.energy_joules for r in records]
         delivered = [r.metrics.delivered_bytes / 1e3 for r in records]
         energy_mean, energy_ci = _mean_ci(energies)
@@ -144,6 +152,7 @@ def figure4(
     transfer_bytes: float = 150_000.0,
     duration: float = 1200.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 4(a): energy per delivered bit, JTP vs. JNC, vs. path length."""
     cells = [(size, name) for size in net_sizes for name in ("jtp", "jnc")]
@@ -159,7 +168,7 @@ def figure4(
         for size, name in cells
     ]
     rows: List[Row] = []
-    for (size, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+    for (size, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         mean, ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
         rows.append({
             "netSize": size,
@@ -177,6 +186,7 @@ def figure4b(
     transfer_bytes: float = 150_000.0,
     duration: float = 1200.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 4(b): per-node energy in a 7-node chain, JTP vs. JNC."""
     names = ("jtp", "jnc")
@@ -192,7 +202,7 @@ def figure4b(
         for name in names
     ]
     rows: List[Row] = []
-    for name, records in zip(names, ParallelRunner(workers).run_grid(specs, seeds)):
+    for name, records in zip(names, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
         for record in records:
             for node_id, joules in record.metrics.per_node_energy.items():
@@ -268,6 +278,7 @@ def figure6(
     duration: float = 1200.0,
     seeds: Sequence[int] = (1, 2),
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 6: source retransmissions vs. in-network cache size."""
     cells = [(size, cache_size) for size in net_sizes for cache_size in cache_sizes]
@@ -284,7 +295,7 @@ def figure6(
         for size, cache_size in cells
     ]
     rows: List[Row] = []
-    for (size, cache_size), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+    for (size, cache_size), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         rows.append({
             "netSize": size,
             "cache_size": cache_size,
@@ -410,10 +421,11 @@ def _comparison_rows(
     seeds: Sequence[int],
     cell_key: str,
     workers: Optional[int],
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Shared aggregation for the figure 9/10 protocol-comparison grids."""
     rows: List[Row] = []
-    for (cell_value, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+    for (cell_value, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         energy_mean, energy_ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
         goodput_mean, goodput_ci = _mean_ci([r.metrics.goodput_kbps for r in records])
         rows.append({
@@ -434,6 +446,7 @@ def figure9(
     transfer_bytes: float = 300_000.0,
     duration: float = 1200.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 9: energy per bit and goodput on linear topologies."""
     cells = [(size, name) for size in net_sizes for name in protocols]
@@ -447,7 +460,7 @@ def figure9(
         ))
         for size, name in cells
     ]
-    return _comparison_rows(cells, specs, seeds, "netSize", workers)
+    return _comparison_rows(cells, specs, seeds, "netSize", workers, backend)
 
 
 def figure10(
@@ -458,6 +471,7 @@ def figure10(
     transfer_bytes: float = 100_000.0,
     duration: float = 1200.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 10: energy per bit and goodput on static random topologies."""
     cells = [(size, name) for size in net_sizes for name in protocols]
@@ -471,7 +485,7 @@ def figure10(
         ))
         for size, name in cells
     ]
-    return _comparison_rows(cells, specs, seeds, "netSize", workers)
+    return _comparison_rows(cells, specs, seeds, "netSize", workers, backend)
 
 
 def figure11(
@@ -483,6 +497,7 @@ def figure11(
     transfer_bytes: float = 80_000.0,
     duration: float = 1200.0,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 11(a,b): energy per bit and goodput under random-waypoint mobility.
 
@@ -503,7 +518,7 @@ def figure11(
         for speed, name in cells
     ]
     rows: List[Row] = []
-    for (speed, name), records in zip(cells, ParallelRunner(workers).run_grid(specs, seeds)):
+    for (speed, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         delivered = [max(1.0, r.metrics.delivered_bytes / 800.0) for r in records]
         rtx = [r.metrics.source_retransmissions for r in records]
         recoveries = [r.metrics.cache_recoveries for r in records]
@@ -537,6 +552,7 @@ def table2(
     seeds: Sequence[int] = (1,),
     num_nodes: int = 14,
     workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Table 2: testbed-like comparison over stable, low-loss links."""
     specs = [
@@ -544,7 +560,7 @@ def table2(
         for name in protocols
     ]
     rows: List[Row] = []
-    for name, records in zip(protocols, ParallelRunner(workers).run_grid(specs, seeds)):
+    for name, records in zip(protocols, ParallelRunner(workers, backend).run_grid(specs, seeds)):
         rows.append({
             "protocol": name,
             "energy_per_bit_mJ": statistics.fmean(r.metrics.energy_per_bit_millijoules for r in records),

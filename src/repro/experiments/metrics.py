@@ -17,7 +17,7 @@ recoveries (Figs. 6 and 11c), ACK counts and delivered fractions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.sim.network import Network
 from repro.transport.base import FlowHandle

@@ -19,35 +19,41 @@ bit-identical to a serial run:
   one of the scenario families ("linear", "random", "mobile",
   "testbed") plus its keyword arguments.  Specs are the unit of work
   for grid sweeps and the recommended builder for parallel runs.
-* :class:`ParallelRunner` — the worker pool.  ``workers=1`` runs
-  everything serially in-process (today's exact semantics, no pool);
-  ``workers=N`` fans out over ``N`` processes; the default is
-  ``os.cpu_count()``.  Because every scenario is fully determined by
-  its seed and results are collected in submission order, the
-  aggregated output is bit-identical for every worker count.
+* :class:`ParallelRunner` — the execution front-end.  It delegates to a
+  pluggable :class:`~repro.experiments.backends.ExecutorBackend`:
+  ``workers=0`` or ``1`` select the in-process
+  :class:`~repro.experiments.backends.SerialBackend` (today's exact
+  serial semantics, no pool); ``workers=N`` (default
+  ``os.cpu_count()``) selects the **shared, persistent**
+  :class:`~repro.experiments.backends.ProcessBackend` for that worker
+  count, so consecutive figure calls reuse one pool instead of forking
+  a new one each; and ``backend=`` accepts any backend instance
+  (thread, or a future multi-machine backend) outright.  Because every
+  scenario is fully determined by its seed and results are collected in
+  submission order, the aggregated output is bit-identical for every
+  backend and worker count.
 * :func:`spawn_seeds` — deterministic per-replicate seed derivation via
   :meth:`~repro.sim.random.RandomStreams.spawn`, so "give me ten
   replications of base seed 7" names the same ten seeds everywhere.
 
 Pickling contract: a :class:`ScenarioRecord` (and therefore everything
 workers send back) must survive ``pickle.dumps`` — plain dataclasses,
-enums, numbers, strings and containers thereof only.  On platforms with
-the ``fork`` start method (Linux), arbitrary builders — lambdas and
-closures included — are supported, because child processes inherit the
-task list instead of unpickling it; elsewhere the builder itself must
-be picklable (use a :class:`ScenarioSpec` or a module-level function).
+enums, numbers, strings and containers thereof only.  Builders should
+be picklable too (a :class:`ScenarioSpec` or a module-level function),
+which is what lets a persistent pool outlive any single call; on
+platforms with the ``fork`` start method (Linux), unpicklable builders
+— lambdas and closures included — still work via a one-shot forked pool
+whose children inherit the task list instead of unpickling it.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
-import os
 import statistics
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.experiments.backends import ExecutorBackend, resolve_backend
 from repro.experiments.metrics import ScenarioMetrics
 from repro.experiments.scenarios import (
     ScenarioResult,
@@ -163,32 +169,28 @@ def _run_task(task: Tuple[Callable[[int], ScenarioResult], int]) -> ScenarioReco
     return ScenarioRecord.from_result(builder(seed), seed, scenario, params)
 
 
-#: Task list inherited by forked workers, so builders never need to be
-#: pickled on fork platforms (set immediately before the pool is created;
-#: children fork lazily on first submission and see the assignment).
-_INHERITED_TASKS: List[Tuple[Callable[[int], ScenarioResult], int]] = []
-
-
-def _run_inherited_task(index: int) -> ScenarioRecord:
-    return _run_task(_INHERITED_TASKS[index])
-
-
 class ParallelRunner:
-    """Fan ``builder(seed)`` replications out over a process pool.
+    """Fan ``builder(seed)`` replications out over an executor backend.
 
-    ``workers=1`` executes serially in the current process with no pool
-    at all — byte-for-byte today's serial semantics — which is what the
-    reproducibility tests pin.  Any other worker count must produce
-    bit-identical aggregates, because each run is fully determined by
-    its seed and records are collected in submission order.
+    ``workers=0`` or ``1`` execute serially in the current process with
+    no pool at all — byte-for-byte today's serial semantics — which is
+    what the reproducibility tests pin.  ``workers=N`` (default
+    ``os.cpu_count()``) delegates to the shared persistent process pool
+    for that worker count, and ``backend=`` accepts any
+    :class:`~repro.experiments.backends.ExecutorBackend` instance
+    directly (pass one or the other, not both).  Every backend must
+    produce bit-identical aggregates, because each run is fully
+    determined by its seed and records are collected in submission
+    order.
     """
 
-    def __init__(self, workers: Optional[int] = None):
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers)
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[ExecutorBackend] = None,
+    ):
+        self.backend = resolve_backend(workers=workers, backend=backend)
+        self.workers = self.backend.workers
 
     # -- core execution ---------------------------------------------------------------
 
@@ -198,22 +200,7 @@ class ParallelRunner:
         """Run ``(builder, seed)`` tasks, preserving task order in the output."""
         if not tasks:
             return []
-        if self.workers == 1 or len(tasks) == 1:
-            return [_run_task(task) for task in tasks]
-        max_workers = min(self.workers, len(tasks))
-        if "fork" in multiprocessing.get_all_start_methods():
-            # Children inherit the task list through fork, so builders
-            # (even lambdas/closures) never cross a pickle boundary.
-            global _INHERITED_TASKS
-            _INHERITED_TASKS = list(tasks)
-            try:
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
-                    return list(pool.map(_run_inherited_task, range(len(tasks))))
-            finally:
-                _INHERITED_TASKS = []
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_run_task, tasks))
+        return self.backend.map(_run_task, list(tasks))
 
     def replicate(
         self,

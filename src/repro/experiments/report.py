@@ -7,7 +7,7 @@ tables so a bench run reads like the paper's tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,

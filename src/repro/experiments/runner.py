@@ -19,7 +19,6 @@ import math
 import statistics
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.experiments.metrics import ScenarioMetrics
 from repro.experiments.scenarios import ScenarioResult
 
 #: Two-sided 95% critical values of Student's t distribution, indexed by
@@ -36,18 +35,19 @@ def replicate(
 ) -> Union[List[ScenarioResult], List["ScenarioRecord"]]:
     """Run ``builder(seed)`` for every seed and return all results.
 
-    With ``workers=1`` (the default) the builders run serially in this
-    process and the live :class:`ScenarioResult` objects are returned —
-    exactly the historical semantics the reproducibility tests pin.
-    With ``workers=N`` (or ``workers=None`` for ``os.cpu_count()``) the
-    runs fan out over a process pool and the picklable
+    With ``workers=1`` (the default) or ``workers=0`` the builders run
+    serially in this process and the live :class:`ScenarioResult`
+    objects are returned — exactly the historical semantics the
+    reproducibility tests pin.  With ``workers=N`` (or ``workers=None``
+    for ``os.cpu_count()``) the runs fan out over the shared persistent
+    process pool and the picklable
     :class:`~repro.experiments.parallel.ScenarioRecord` summaries come
     back instead, in seed order; the aggregation helpers below accept
     either.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
-    if workers == 1:
+    if workers is not None and workers in (0, 1):
         return [builder(seed) for seed in seeds]
     from repro.experiments.parallel import ParallelRunner
 

@@ -18,8 +18,8 @@ Four scenario families cover every figure and table:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.config import JTPConfig
 from repro.experiments.metrics import ScenarioMetrics, collect_metrics

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.mac.arq import ArqOutcome, ArqPolicy
+from repro.mac.arq import ArqPolicy
 from repro.mac.energy import RadioEnergyModel
 from repro.mac.link_estimator import LinkEstimator
 from repro.sim.channel import Channel

@@ -1,0 +1,285 @@
+"""Executor backends: lifecycle, pool reuse, env plumbing, bit-identity."""
+
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.backends import (
+    AsyncBackend,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    close_shared_backends,
+    make_backend,
+    resolve_backend,
+    shared_backend,
+    workers_from_env,
+)
+from repro.experiments.parallel import ParallelRunner, ScenarioSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SMALL_LINEAR = dict(num_nodes=3, transfer_bytes=8_000, num_flows=1, duration=150)
+TINY_FIGURE = dict(net_sizes=(3,), tolerances=(0.0,), seeds=(1, 2), transfer_bytes=4_000, duration=80)
+
+
+def _pid(_index):
+    return os.getpid()
+
+
+def _square(value):
+    return value * value
+
+
+def _kill_worker(_value):  # pragma: no cover - runs (and dies) in a pool worker
+    os._exit(1)
+
+
+class TestSerialBackend:
+    def test_runs_inline_in_order(self):
+        backend = SerialBackend()
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend.map(_pid, [0]) == [os.getpid()]
+        assert backend.workers == 1
+        assert not backend.is_running  # never holds resources
+
+    def test_context_manager_is_a_no_op(self):
+        with SerialBackend() as backend:
+            assert backend.map(_square, [2]) == [4]
+
+
+class TestProcessBackendLifecycle:
+    def test_pool_starts_lazily_and_is_reused(self):
+        with ProcessBackend(workers=2) as backend:
+            assert not backend.is_running
+            first = set(backend.map(_pid, range(8)))
+            assert backend.is_running
+            pids = backend.worker_pids()
+            second = set(backend.map(_pid, range(8)))
+            # Same pool, same worker processes, across both calls.
+            assert backend.worker_pids() == pids
+            assert first <= pids
+            assert second <= pids
+            assert os.getpid() not in pids
+
+    def test_pool_reused_across_two_figure_calls(self):
+        from repro.experiments import figures
+
+        with ProcessBackend(workers=2) as backend:
+            figures.figure3(backend=backend, **TINY_FIGURE)
+            pids = backend.worker_pids()
+            assert pids, "the first figure call must have started the pool"
+            figures.figure4(
+                backend=backend,
+                net_sizes=(3,),
+                seeds=(1, 2),
+                transfer_bytes=4_000,
+                duration=80,
+            )
+            assert backend.worker_pids() == pids, "second figure call must reuse the pool"
+
+    def test_context_manager_shuts_the_pool_down(self):
+        backend = ProcessBackend(workers=2)
+        with backend:
+            backend.map(_square, [1, 2])
+            assert backend.is_running
+        assert not backend.is_running
+        assert backend.worker_pids() == frozenset()
+
+    def test_close_is_idempotent_and_reuse_restarts_lazily(self):
+        backend = ProcessBackend(workers=2)
+        backend.map(_square, [1, 2])
+        backend.close()
+        backend.close()
+        assert not backend.is_running
+        assert backend.map(_square, [3, 4]) == [9, 16]
+        assert backend.is_running
+        backend.close()
+
+    def test_atexit_cleanup_lets_the_interpreter_exit(self):
+        # A child interpreter that uses a shared pool but never closes it
+        # must still exit promptly: the atexit hook closes stray pools.
+        code = (
+            "from repro.experiments.backends import shared_backend\n"
+            "from tests.test_backends import _square\n"
+            "backend = shared_backend(2)\n"
+            "assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]\n"
+            "assert backend.is_running\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        completed = subprocess.run(
+            [sys.executable, "-c", code],
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=60,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+    def test_broken_pool_self_heals(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessBackend(workers=2) as backend:
+            with pytest.raises(BrokenProcessPool):
+                backend.map(_kill_worker, range(2))
+            # The broken executor must have been discarded, not cached...
+            assert not backend.is_running
+            # ...so the next call starts a fresh pool and succeeds.
+            assert backend.map(_square, [2, 3]) == [4, 9]
+
+    def test_fallback_quiesces_the_persistent_pool(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        with ProcessBackend(workers=2) as backend:
+            backend.map(_square, [1, 2])
+            assert backend.is_running
+            # Unpicklable work forks a one-shot pool; the persistent
+            # pool is shut down first (fork-with-threads hazard)...
+            assert backend.map(lambda value: value + 1, [1, 2]) == [2, 3]
+            assert not backend.is_running
+            # ...and restarts lazily for picklable work.
+            assert backend.map(_square, [4, 5]) == [16, 25]
+            assert backend.is_running
+
+    def test_unpicklable_builder_falls_back_on_fork_platforms(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)  # noqa: E731
+        with ProcessBackend(workers=2) as backend:
+            records = ParallelRunner(backend=backend).replicate(builder, [1, 2])
+            # The fallback uses a one-shot forked pool: correct results,
+            # but no persistent pool is started for unpicklable work.
+            assert [record.seed for record in records] == [1, 2]
+            assert not backend.is_running
+        serial = ParallelRunner(workers=1).replicate(builder, [1, 2])
+        assert records == serial
+
+
+class TestThreadBackend:
+    def test_lifecycle_matches_process_backend(self):
+        backend = ThreadBackend(workers=2)
+        assert not backend.is_running
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend.is_running
+        backend.close()
+        assert not backend.is_running
+        assert backend.map(_square, [5]) == [25]
+        backend.close()
+
+    def test_threads_share_the_calling_process(self):
+        with ThreadBackend(workers=2) as backend:
+            assert set(backend.map(_pid, range(4))) == {os.getpid()}
+
+
+class TestAsyncBackendStub:
+    def test_is_a_backend_and_carries_configuration(self):
+        backend = AsyncBackend(endpoint="scheduler:9999", workers=8)
+        assert isinstance(backend, ExecutorBackend)
+        assert backend.endpoint == "scheduler:9999"
+        assert backend.workers == 8
+
+    def test_map_is_not_implemented_yet(self):
+        with AsyncBackend() as backend:
+            with pytest.raises(NotImplementedError):
+                backend.map(_square, [1])
+
+
+class TestCrossBackendBitIdentity:
+    def test_serial_process_thread_agree_on_a_small_grid(self):
+        specs = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
+        seeds = [1, 2, 3]
+        serial = ParallelRunner(backend=SerialBackend()).run_grid(specs, seeds)
+        with ProcessBackend(workers=2) as backend:
+            process = ParallelRunner(backend=backend).run_grid(specs, seeds)
+        with ThreadBackend(workers=2) as backend:
+            thread = ParallelRunner(backend=backend).run_grid(specs, seeds)
+        assert process == serial
+        assert thread == serial
+
+
+class TestResolveBackend:
+    def test_zero_and_one_mean_serial(self):
+        assert isinstance(resolve_backend(workers=0), SerialBackend)
+        assert isinstance(resolve_backend(workers=1), SerialBackend)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend(workers=-2)
+
+    def test_explicit_backend_passes_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend=backend) is backend
+
+    def test_workers_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            resolve_backend(workers=2, backend=SerialBackend())
+
+    def test_default_is_the_shared_pool(self):
+        if (os.cpu_count() or 1) > 1:
+            assert resolve_backend() is shared_backend(None)
+        else:
+            # One-core machines keep the historical serial execution.
+            assert isinstance(resolve_backend(), SerialBackend)
+
+    def test_shared_backend_is_cached_per_worker_count(self):
+        a = shared_backend(2)
+        b = shared_backend(2)
+        c = shared_backend(3)
+        assert a is b
+        assert a is not c
+        assert resolve_backend(workers=2) is a
+
+    def test_close_shared_backends_forgets_the_cache(self):
+        before = shared_backend(2)
+        close_shared_backends()
+        assert not before.is_running
+        assert shared_backend(2) is not before
+        close_shared_backends()
+
+
+class TestMakeBackend:
+    def test_registry_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("process", workers=2), ProcessBackend)
+        assert isinstance(make_backend("thread", workers=2), ThreadBackend)
+        assert isinstance(make_backend("async"), AsyncBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("distributed")
+
+    def test_serial_with_parallel_workers_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("serial", workers=8)
+        assert isinstance(make_backend("serial", workers=1), SerialBackend)
+        assert isinstance(make_backend("serial", workers=0), SerialBackend)
+
+
+class TestWorkersFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() is None
+        assert workers_from_env(default=3) == 3
+
+    def test_zero_means_serial_everywhere(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert workers_from_env() == 0
+        assert isinstance(resolve_backend(workers=workers_from_env()), SerialBackend)
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert workers_from_env() == 4
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-1")
+        with pytest.raises(ValueError):
+            workers_from_env()

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.mac.csma import CsmaMac, SharedMedium
-from repro.mac.tdma import MacConfig
 from repro.sim.channel import Channel, LinkQuality
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig

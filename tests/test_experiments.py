@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.experiments.metrics import collect_metrics, jains_fairness_index
+from repro.experiments.metrics import jains_fairness_index
 from repro.experiments.report import format_series, format_table
-from repro.experiments.runner import confidence_interval, metric_values, replicate, summarize
+from repro.experiments.runner import confidence_interval, replicate, summarize
 from repro.experiments.scenarios import (
     PAPER_LINK_QUALITY,
     STABLE_LINK_QUALITY,

@@ -15,7 +15,6 @@ from repro.experiments.scenarios import (
     linear_scenario,
     testbed_scenario as build_testbed_scenario,
 )
-from repro.sim.channel import LinkQuality
 
 
 def run(protocol, num_nodes=6, seed=1, transfer=150_000, duration=900, quality=None, config=None):

@@ -4,6 +4,7 @@ import pickle
 
 import pytest
 
+from repro.experiments.backends import ProcessBackend, SerialBackend
 from repro.experiments.parallel import (
     ParallelRunner,
     ScenarioRecord,
@@ -55,7 +56,30 @@ class TestScenarioRecord:
 class TestParallelRunner:
     def test_workers_validated(self):
         with pytest.raises(ValueError):
-            ParallelRunner(workers=0)
+            ParallelRunner(workers=-1)
+
+    def test_workers_zero_and_one_mean_serial(self):
+        # REPRO_WORKERS=0 plumbing resolves here: both 0 and 1 are the
+        # in-process serial backend, no pool at all.
+        assert isinstance(ParallelRunner(workers=0).backend, SerialBackend)
+        assert isinstance(ParallelRunner(workers=1).backend, SerialBackend)
+
+    def test_default_backend_is_shared_process_pool(self):
+        import os
+
+        first = ParallelRunner()
+        second = ParallelRunner()
+        if (os.cpu_count() or 1) > 1:
+            # Consecutive figure calls share one persistent pool.
+            assert isinstance(first.backend, ProcessBackend)
+            assert first.backend is second.backend
+        else:
+            # One-core machines keep the historical serial execution.
+            assert isinstance(first.backend, SerialBackend)
+
+    def test_workers_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=2, backend=SerialBackend())
 
     def test_replicate_requires_seeds(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,99 @@
+"""Paper-scale presets and the run_paper driver."""
+
+import pytest
+
+from repro.experiments.backends import SerialBackend
+from repro.experiments.parallel import spawn_seeds
+from repro.experiments.presets import (
+    METRIC_FIGURES,
+    PAPER_LINEAR,
+    PAPER_RANDOM,
+    SMOKE_LINEAR,
+    SMOKE_RANDOM,
+    preset_seeds,
+    run_paper,
+)
+
+
+class TestPresetSeeds:
+    def test_paper_counts_match_the_paper(self):
+        # Section 4: twenty runs per linear figure cell, ten per random one.
+        assert PAPER_LINEAR == 20
+        assert PAPER_RANDOM == 10
+        assert len(preset_seeds("paper", family="linear")) == PAPER_LINEAR
+        assert len(preset_seeds("paper", family="random")) == PAPER_RANDOM
+
+    def test_paper_seeds_are_the_spawned_seeds(self):
+        assert preset_seeds("paper", family="linear") == tuple(spawn_seeds(0, PAPER_LINEAR))
+        assert preset_seeds("paper", family="linear", base_seed=7) == tuple(spawn_seeds(7, PAPER_LINEAR))
+
+    def test_smoke_seeds_are_the_historical_bench_seeds(self):
+        assert preset_seeds("smoke", family="linear") == (1, 2)
+        assert preset_seeds("smoke", family="random") == (1,)
+        assert SMOKE_LINEAR == 2
+        assert SMOKE_RANDOM == 1
+
+    def test_int_count_expands_deterministically(self):
+        assert preset_seeds(4) == tuple(spawn_seeds(0, 4))
+        assert len(set(preset_seeds(4))) == 4
+
+    def test_explicit_sequence_passes_through(self):
+        assert preset_seeds([5, 6, 7]) == (5, 6, 7)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            preset_seeds("full")
+        with pytest.raises(ValueError):
+            preset_seeds("paper", family="ring")
+
+
+class TestMetricFigures:
+    def test_covers_the_metric_only_figures(self):
+        names = [job.name for job in METRIC_FIGURES]
+        assert names == [
+            "figure3",
+            "figure4",
+            "figure4b",
+            "figure6",
+            "figure9",
+            "figure10",
+            "figure11",
+            "table2",
+        ]
+
+    def test_every_job_resolves_to_a_figure_function(self):
+        for job in METRIC_FIGURES:
+            assert callable(job.func())
+            assert job.family in ("linear", "random")
+
+
+class TestRunPaper:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_paper(figures=["figure3", "figure99"])
+
+    def test_smoke_subset_runs_through_one_backend(self):
+        rows_by_figure = run_paper(
+            figures=["table2"],
+            seeds="smoke",
+            backend=SerialBackend(),
+        )
+        assert set(rows_by_figure) == {"table2"}
+        rows = rows_by_figure["table2"]
+        assert [row["protocol"] for row in rows] == ["jtp", "atp", "tcp"]
+        for row in rows:
+            assert row["goodput_kbps"] > 0
+
+    def test_results_are_backend_independent(self):
+        kwargs = dict(
+            figures=["figure4b"],
+            seeds="smoke",
+            overrides={"figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80)},
+        )
+        serial = run_paper(backend=SerialBackend(), **kwargs)
+        pooled = run_paper(workers=2, **kwargs)
+        assert pooled == serial
+
+    def test_workers_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            run_paper(figures=["table2"], backend=SerialBackend(), workers=2)

@@ -1,6 +1,5 @@
 """Adjustable-reliability mathematics (Section 3, Equations 1-4)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.mac.arq import ArqPolicy
-from repro.mac.energy import RadioEnergyModel
 from repro.mac.tdma import LinkContext, MacConfig, TdmaMac
 from repro.sim.channel import Channel, LinkQuality
 from repro.sim.engine import Simulator

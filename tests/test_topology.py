@@ -1,6 +1,5 @@
 """Topology generation and connectivity."""
 
-import math
 import random
 
 import pytest

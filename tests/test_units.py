@@ -1,6 +1,5 @@
 """Unit conversions used by the energy accounting."""
 
-import math
 
 import pytest
 
