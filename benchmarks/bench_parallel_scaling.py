@@ -14,13 +14,17 @@ across PRs:
    persistent :class:`~repro.experiments.backends.ProcessBackend`.  The
    pooled run must not be slower — fork/teardown cost is paid once, not
    once per figure.
+3. **Batched grids** — submits several figure plans' grids as one
+   interleaved :meth:`~repro.experiments.parallel.ParallelRunner.run_grids`
+   batch (the ``run_paper`` path) and per figure via ``run_grid``, and
+   asserts records *and* aggregated rows are bit-identical.
 
 Aggregated metrics must be bit-identical across the serial, process and
-thread backends at every worker count — that is asserted
-unconditionally.  The wall-clock assertions (≥2× speedup at 4 workers
-on a ≥4-core box, pooled ≤ throwaway) are skipped when
-``REPRO_BENCH_NO_ASSERT`` is set, which is how the CI smoke job runs on
-noisy shared runners.
+thread backends at every worker count, and the batched-grid submission
+must match per-figure submission — both are asserted unconditionally.
+The wall-clock assertions (≥2× speedup at 4 workers on a ≥4-core box,
+pooled ≤ throwaway) are skipped when ``REPRO_BENCH_NO_ASSERT`` is set,
+which is how the CI smoke job runs on noisy shared runners.
 
 Run with::
 
@@ -36,6 +40,7 @@ from pathlib import Path
 
 from conftest import bench_no_assert
 
+from repro.experiments import figures
 from repro.experiments.backends import ProcessBackend, SerialBackend, ThreadBackend
 from repro.experiments.parallel import ParallelRunner, ScenarioSpec, spawn_seeds
 from repro.experiments.runner import summarize
@@ -117,6 +122,25 @@ def test_parallel_scaling(benchmark):
         assert thread_records == serial_records, "thread backend changed the records"
         assert throwaway_records == serial_records, "throwaway pools changed the records"
 
+        # 3. Batched multi-figure submission (the run_paper path) must
+        # demultiplex to exactly what per-figure submission produces.
+        plans = [
+            figures.figure4b_plan(num_nodes=3, transfer_bytes=6_000, duration=100),
+            figures.figure6_plan(cache_sizes=(2, 10), net_sizes=(3,), transfer_bytes=8_000, duration=100),
+            figures.table2_plan(num_nodes=6, duration=120),
+        ]
+        plan_seeds = [reuse_seeds[:2], reuse_seeds[:2], reuse_seeds[:1]]
+        grids = [(plan.specs, seeds_) for plan, seeds_ in zip(plans, plan_seeds)]
+        with ProcessBackend(workers=pool_workers) as backend:
+            runner = ParallelRunner(backend=backend)
+            batched = runner.run_grids(grids)
+            per_figure = [runner.run_grid(list(specs), seeds_) for specs, seeds_ in grids]
+        assert batched == per_figure, "batched grids changed the records"
+        batched_rows = [plan.aggregate(groups) for plan, groups in zip(plans, batched)]
+        per_figure_rows = [plan.aggregate(groups) for plan, groups in zip(plans, per_figure)]
+        assert batched_rows == per_figure_rows, "batched grids changed the figure rows"
+        reuse["batched_figures"] = [plan.name for plan in plans]
+
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     # Correctness first: every worker count must aggregate identically.
@@ -147,6 +171,10 @@ def test_parallel_scaling(benchmark):
             "throwaway_pool_s": round(reuse["throwaway_s"], 4),
             "persistent_pool_s": round(reuse["pooled_s"], 4),
             "speedup": round(reuse["throwaway_s"] / reuse["pooled_s"], 3),
+        },
+        "batched_grids": {
+            "figures": reuse["batched_figures"],
+            "identical_to_per_figure": True,
         },
     }
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -28,15 +28,24 @@ repository root; the benchmarks are additive.  Environment knobs:
     When set (non-empty), ``bench_parallel_scaling.py`` skips its
     wall-clock assertions (CI noise) while keeping the bit-identity
     assertions — pool regressions still fail the run.
+``REPRO_RUN_DIR``
+    When set, every bench driver whose experiment returns row lists
+    persists them into that run directory via the results store
+    (:mod:`repro.experiments.results`), one ``<figure>.json``/``.csv``
+    pair per driver, loadable with
+    :func:`repro.experiments.results.load_run` and renderable with
+    ``python -m repro.experiments $REPRO_RUN_DIR``.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Callable, Optional, Tuple
 
 from repro.experiments.backends import workers_from_env
 from repro.experiments.presets import preset_seeds
+from repro.experiments.results import save_rows
 
 
 def bench_workers() -> Optional[int]:
@@ -69,11 +78,30 @@ def bench_no_assert() -> bool:
     return bool(os.environ.get("REPRO_BENCH_NO_ASSERT", "").strip())
 
 
+def bench_run_dir() -> Optional[Path]:
+    """Run directory for persisted bench rows (``REPRO_RUN_DIR``), or ``None``."""
+    value = os.environ.get("REPRO_RUN_DIR", "").strip()
+    return Path(value) if value else None
+
+
 def run_once(benchmark, experiment: Callable, *args, **kwargs):
     """Run ``experiment`` exactly once under pytest-benchmark timing.
 
     The experiments are full simulations taking hundreds of milliseconds
     to a few seconds each; a single round keeps the whole harness fast
     while still recording the wall-clock cost of regenerating the figure.
+
+    With ``REPRO_RUN_DIR`` set, a row-list result (every metric figure
+    and ``*_rows`` trace adapter) is also persisted into that run
+    directory under the experiment's name; series-shaped results are
+    left to the driver to rowify first.
     """
-    return benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    result = benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    run_dir = bench_run_dir()
+    if run_dir is not None and _looks_like_rows(result):
+        save_rows(run_dir, getattr(experiment, "__name__", "experiment"), result)
+    return result
+
+
+def _looks_like_rows(result) -> bool:
+    return isinstance(result, list) and all(isinstance(row, dict) for row in result)

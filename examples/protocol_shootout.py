@@ -13,9 +13,15 @@ uses the paper's replication count (:data:`PAPER_LINEAR` seeds per
 cell).  The printed rows are bit-identical for every backend and worker
 count.
 
+``--out DIR`` persists the rows through the results store
+(:mod:`repro.experiments.results`): ``DIR`` becomes a run directory with
+``figure9.json``/``figure9.csv`` plus a manifest recording the seeds,
+backend and git provenance — reload it with ``load_run(DIR)`` or render
+it with ``python -m repro.experiments DIR``.
+
 Run with::
 
-    python examples/protocol_shootout.py [--workers N] [--backend NAME] [--seeds N | --paper]
+    python examples/protocol_shootout.py [--workers N] [--backend NAME] [--seeds N | --paper] [--out DIR]
 """
 
 import argparse
@@ -24,6 +30,7 @@ from repro.experiments.backends import BACKENDS, make_backend, resolve_backend
 from repro.experiments.figures import figure9
 from repro.experiments.presets import PAPER_LINEAR, SMOKE_LINEAR, preset_seeds
 from repro.experiments.report import format_table
+from repro.experiments.results import git_metadata, save_run
 
 
 def main() -> None:
@@ -37,6 +44,8 @@ def main() -> None:
                         help=f"independent replications per cell (default: {SMOKE_LINEAR})")
     parser.add_argument("--paper", action="store_true",
                         help=f"use the paper's replication count ({PAPER_LINEAR} seeds per cell)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="persist the rows into run directory DIR via the results store")
     args = parser.parse_args()
 
     if args.paper:
@@ -61,6 +70,20 @@ def main() -> None:
         duration=1000.0,
         backend=backend,
     )
+    if args.out:
+        run_dir = save_run(
+            {"figure9": rows},
+            args.out,
+            metadata={
+                "driver": "protocol_shootout",
+                "seeds": list(seeds),
+                "backend": backend.name,
+                "workers": backend.workers,
+                "git": git_metadata(),
+            },
+        )
+        print(f"rows persisted to {run_dir} (render with: python -m repro.experiments {run_dir})")
+        print()
     print(format_table(
         rows,
         columns=["netSize", "protocol", "energy_per_bit_uJ", "goodput_kbps"],

@@ -17,18 +17,28 @@
   for any backend and worker count);
 * :mod:`repro.experiments.presets` — paper-scale seed presets
   (``PAPER_LINEAR=20``, ``PAPER_RANDOM=10``, smoke presets for CI) and
-  the :func:`run_paper` full-paper driver;
+  the :func:`run_paper` full-paper driver: metric figures batched into
+  one interleaved pool submission, trace figures (3c, 5, 7, 8) run
+  serially behind the same row interface;
 * :mod:`repro.experiments.figures` — one function per figure/table
-  (``figure3`` … ``figure11``, ``table2``) returning structured rows;
-* :mod:`repro.experiments.report` — plain-text table rendering.
+  (``figure3`` … ``figure11``, ``table2``) returning structured rows,
+  each metric figure also exposing its ``figureN_plan()`` grid for
+  batching and each trace figure a ``figureN_rows()`` adapter;
+* :mod:`repro.experiments.results` — the on-disk results store: run
+  directories with per-figure JSON/CSV rows plus a manifest recording
+  seeds, preset, backend and git provenance;
+* :mod:`repro.experiments.report` — plain-text table rendering, for
+  live rows and stored runs (``python -m repro.experiments
+  <run_dir>``).
 
 Usage::
 
-    from repro.experiments import ProcessBackend, figures, run_paper
+    from repro.experiments import ProcessBackend, figures, load_run, run_paper
 
     # Everything below shares one persistent worker pool (the default):
-    all_rows = run_paper(seeds="paper")            # full paper-scale run
+    all_rows = run_paper(seeds="paper", out_dir="runs/paper")  # full run, persisted
     smoke = run_paper(seeds="smoke", workers=2)    # the CI smoke run
+    stored = load_run("runs/paper").rows           # rows back, no re-simulation
 
     # Figures take the same workers=/backend= knobs individually:
     rows = figures.figure9(workers=4)              # shared 4-worker pool
@@ -72,15 +82,18 @@ from repro.experiments.parallel import (
     spawn_seeds,
 )
 from repro.experiments.presets import (
+    ALL_FIGURES,
     METRIC_FIGURES,
     PAPER_LINEAR,
     PAPER_RANDOM,
     SMOKE_LINEAR,
     SMOKE_RANDOM,
+    TRACE_FIGURES,
     preset_seeds,
     run_paper,
 )
-from repro.experiments.report import format_table
+from repro.experiments.results import RunResults, load_run, save_run
+from repro.experiments.report import format_run, format_table
 from repro.experiments import figures
 
 __all__ = [
@@ -112,13 +125,19 @@ __all__ = [
     "ScenarioRecord",
     "ScenarioSpec",
     "spawn_seeds",
+    "ALL_FIGURES",
     "METRIC_FIGURES",
+    "TRACE_FIGURES",
     "PAPER_LINEAR",
     "PAPER_RANDOM",
     "SMOKE_LINEAR",
     "SMOKE_RANDOM",
     "preset_seeds",
     "run_paper",
+    "RunResults",
+    "load_run",
+    "save_run",
+    "format_run",
     "format_table",
     "figures",
 ]

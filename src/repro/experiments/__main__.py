@@ -1,0 +1,12 @@
+"""``python -m repro.experiments <run_dir>`` — render a stored run.
+
+A thin shim around :func:`repro.experiments.report.main`, giving the
+report CLI an entry point that is not itself imported by the package
+``__init__`` (running ``python -m repro.experiments.report`` works too
+but trips Python's found-in-sys.modules RuntimeWarning).
+"""
+
+from repro.experiments.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,12 @@ Every backend must preserve the harness invariant: because each
 simulation run is fully determined by its seed and results come back in
 submission order, **aggregates are bit-identical no matter which backend
 ran them**.  ``tests/test_backends.py`` pins that cross-backend.
+
+That same contract is what makes batched multi-figure submission safe:
+:meth:`~repro.experiments.parallel.ParallelRunner.run_grids` interleaves
+several figures' cells into one :meth:`ExecutorBackend.map` call and
+demultiplexes the ordered results back per figure, so a full-paper run
+is a single drain of a single pool regardless of backend.
 """
 
 from __future__ import annotations

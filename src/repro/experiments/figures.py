@@ -17,11 +17,24 @@ pool); ``workers=0`` or ``1`` force the historical serial execution, and
 ``backend=`` accepts any
 :class:`~repro.experiments.backends.ExecutorBackend` instance — pass
 one of ``workers``/``backend``, not both.  Either way the rows are
-bit-identical, because every run is fully determined by its seed.  The
-figures that inspect live simulator state after the run (3c, 5, 7, 8)
-always execute serially in-process.  ``repro.experiments.presets``
-names the paper-scale seed counts and drives all of these figures
-through one shared pool (:func:`~repro.experiments.presets.run_paper`).
+bit-identical, because every run is fully determined by its seed.  Each
+metric figure is internally split into a :class:`FigurePlan` — its grid
+of :class:`~repro.experiments.parallel.ScenarioSpec` cells plus an
+``aggregate`` turning record groups into rows — built by the matching
+``figureN_plan()`` function; the plan split is what lets
+:func:`~repro.experiments.presets.run_paper` batch **every** figure's
+cells into one interleaved pool submission
+(:meth:`~repro.experiments.parallel.ParallelRunner.run_grids`) instead
+of draining the pool once per figure.
+
+The figures that inspect live simulator state after the run (3c, 5, 7,
+8) always execute serially in-process and return series-shaped
+dictionaries; their ``figureNc_rows``-style adapters re-express those
+series as flat row lists with a stable schema so ``run_paper`` and the
+on-disk results store (:mod:`repro.experiments.results`) can treat all
+figures uniformly.  ``repro.experiments.presets`` names the paper-scale
+seed counts and drives every figure — metric and trace — through
+:func:`~repro.experiments.presets.run_paper`.
 
 The mapping to the paper:
 
@@ -45,11 +58,12 @@ The mapping to the paper:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
 from repro.experiments.backends import ExecutorBackend
-from repro.experiments.parallel import ParallelRunner, ScenarioSpec
+from repro.experiments.parallel import ParallelRunner, ScenarioRecord, ScenarioSpec
 from repro.experiments.runner import confidence_interval
 from repro.experiments.scenarios import (
     LOSSY_LINK_QUALITY,
@@ -66,9 +80,86 @@ def _mean_ci(values: Sequence[float]) -> Tuple[float, float]:
     return statistics.fmean(values), confidence_interval(list(values))
 
 
+@dataclass(frozen=True)
+class FigurePlan:
+    """A metric figure split into its grid and its aggregation.
+
+    ``specs`` lists one :class:`ScenarioSpec` per figure cell and
+    ``aggregate`` turns the per-spec record groups that
+    :meth:`~repro.experiments.parallel.ParallelRunner.run_grid` returns
+    into the figure's rows.  The split is what lets
+    :func:`~repro.experiments.presets.run_paper` batch every figure's
+    grid into **one** pool submission: plans are built up front, every
+    plan's specs go down together via
+    :meth:`~repro.experiments.parallel.ParallelRunner.run_grids`, and
+    each figure's ``aggregate`` consumes its own demultiplexed slice —
+    producing rows bit-identical to a standalone figure call.
+
+    Every ``figureN_plan()`` builder takes the figure function's
+    simulation parameters (everything except ``seeds``/``workers``/
+    ``backend``, which belong to execution, not to the figure).
+    """
+
+    name: str
+    specs: Tuple[ScenarioSpec, ...]
+    aggregate: Callable[[Sequence[Sequence[ScenarioRecord]]], List[Row]]
+
+    def run(
+        self,
+        seeds: Sequence[int],
+        workers: Optional[int] = None,
+        backend: Optional[ExecutorBackend] = None,
+    ) -> List[Row]:
+        """Execute the plan's grid on one backend and aggregate the rows."""
+        groups = ParallelRunner(workers, backend).run_grid(list(self.specs), list(seeds))
+        return self.aggregate(groups)
+
+
 # ---------------------------------------------------------------------------
 # Figure 3 — adjustable reliability levels
 # ---------------------------------------------------------------------------
+
+def figure3_plan(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    tolerances: Sequence[float] = (0.0, 0.10, 0.20),
+    transfer_bytes: float = 120_000.0,
+    duration: float = 900.0,
+) -> FigurePlan:
+    """Grid + aggregation for Figures 3(a) and 3(b)."""
+    cells = [(size, tolerance) for size in net_sizes for tolerance in tolerances]
+    specs = tuple(
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol=f"jtp{int(round(tolerance * 100))}" if tolerance > 0 else "jtp",
+            jtp_config=JTPConfig(loss_tolerance=tolerance),
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+        ))
+        for size, tolerance in cells
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for (size, tolerance), records in zip(cells, groups):
+            energies = [r.metrics.energy_joules for r in records]
+            delivered = [r.metrics.delivered_bytes / 1e3 for r in records]
+            energy_mean, energy_ci = _mean_ci(energies)
+            data_mean, data_ci = _mean_ci(delivered)
+            rows.append({
+                "netSize": size,
+                "protocol": f"jtp{int(round(tolerance * 100))}",
+                "loss_tolerance": tolerance,
+                "total_energy_J": energy_mean,
+                "total_energy_ci": energy_ci,
+                "data_delivered_kB": data_mean,
+                "data_delivered_ci": data_ci,
+                "requirement_kB": transfer_bytes * (1.0 - tolerance) / 1e3,
+            })
+        return rows
+
+    return FigurePlan("figure3", specs, aggregate)
+
 
 def figure3(
     net_sizes: Sequence[int] = (3, 5, 7, 9),
@@ -80,35 +171,8 @@ def figure3(
     backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figures 3(a) and 3(b): energy and delivered data per reliability level."""
-    cells = [(size, tolerance) for size in net_sizes for tolerance in tolerances]
-    specs = [
-        ScenarioSpec("linear", dict(
-            num_nodes=size,
-            protocol=f"jtp{int(round(tolerance * 100))}" if tolerance > 0 else "jtp",
-            jtp_config=JTPConfig(loss_tolerance=tolerance),
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-        ))
-        for size, tolerance in cells
-    ]
-    rows: List[Row] = []
-    for (size, tolerance), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        energies = [r.metrics.energy_joules for r in records]
-        delivered = [r.metrics.delivered_bytes / 1e3 for r in records]
-        energy_mean, energy_ci = _mean_ci(energies)
-        data_mean, data_ci = _mean_ci(delivered)
-        rows.append({
-            "netSize": size,
-            "protocol": f"jtp{int(round(tolerance * 100))}",
-            "loss_tolerance": tolerance,
-            "total_energy_J": energy_mean,
-            "total_energy_ci": energy_ci,
-            "data_delivered_kB": data_mean,
-            "data_delivered_ci": data_ci,
-            "requirement_kB": transfer_bytes * (1.0 - tolerance) / 1e3,
-        })
-    return rows
+    plan = figure3_plan(net_sizes, tolerances, transfer_bytes, duration)
+    return plan.run(seeds, workers, backend)
 
 
 def figure3c(
@@ -146,17 +210,14 @@ def figure3c(
 # Figure 4 — caching gain (JTP vs JNC)
 # ---------------------------------------------------------------------------
 
-def figure4(
+def figure4_plan(
     net_sizes: Sequence[int] = (3, 5, 7, 9),
-    seeds: Sequence[int] = (1, 2),
     transfer_bytes: float = 150_000.0,
     duration: float = 1200.0,
-    workers: Optional[int] = None,
-    backend: Optional[ExecutorBackend] = None,
-) -> List[Row]:
-    """Figure 4(a): energy per delivered bit, JTP vs. JNC, vs. path length."""
+) -> FigurePlan:
+    """Grid + aggregation for Figure 4(a)."""
     cells = [(size, name) for size in net_sizes for name in ("jtp", "jnc")]
-    specs = [
+    specs = tuple(
         ScenarioSpec("linear", dict(
             num_nodes=size,
             protocol=name,
@@ -166,18 +227,71 @@ def figure4(
             link_quality=LOSSY_LINK_QUALITY,
         ))
         for size, name in cells
-    ]
-    rows: List[Row] = []
-    for (size, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        mean, ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
-        rows.append({
-            "netSize": size,
-            "protocol": name,
-            "energy_per_bit_uJ": mean,
-            "energy_per_bit_ci": ci,
-            "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
-        })
-    return rows
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for (size, name), records in zip(cells, groups):
+            mean, ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
+            rows.append({
+                "netSize": size,
+                "protocol": name,
+                "energy_per_bit_uJ": mean,
+                "energy_per_bit_ci": ci,
+                "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
+            })
+        return rows
+
+    return FigurePlan("figure4", specs, aggregate)
+
+
+def figure4(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    seeds: Sequence[int] = (1, 2),
+    transfer_bytes: float = 150_000.0,
+    duration: float = 1200.0,
+    workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
+) -> List[Row]:
+    """Figure 4(a): energy per delivered bit, JTP vs. JNC, vs. path length."""
+    return figure4_plan(net_sizes, transfer_bytes, duration).run(seeds, workers, backend)
+
+
+def figure4b_plan(
+    num_nodes: int = 7,
+    transfer_bytes: float = 150_000.0,
+    duration: float = 1200.0,
+) -> FigurePlan:
+    """Grid + aggregation for Figure 4(b)."""
+    names = ("jtp", "jnc")
+    specs = tuple(
+        ScenarioSpec("linear", dict(
+            num_nodes=num_nodes,
+            protocol=name,
+            transfer_bytes=transfer_bytes,
+            num_flows=1,
+            duration=duration,
+            link_quality=LOSSY_LINK_QUALITY,
+        ))
+        for name in names
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for name, records in zip(names, groups):
+            per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
+            for record in records:
+                for node_id, joules in record.metrics.per_node_energy.items():
+                    per_node[node_id].append(joules)
+            for node_id in range(num_nodes):
+                rows.append({
+                    "protocol": name,
+                    "node": node_id,
+                    "energy_J": statistics.fmean(per_node[node_id]) if per_node[node_id] else 0.0,
+                })
+        return rows
+
+    return FigurePlan("figure4b", specs, aggregate)
 
 
 def figure4b(
@@ -189,31 +303,7 @@ def figure4b(
     backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 4(b): per-node energy in a 7-node chain, JTP vs. JNC."""
-    names = ("jtp", "jnc")
-    specs = [
-        ScenarioSpec("linear", dict(
-            num_nodes=num_nodes,
-            protocol=name,
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-            link_quality=LOSSY_LINK_QUALITY,
-        ))
-        for name in names
-    ]
-    rows: List[Row] = []
-    for name, records in zip(names, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
-        for record in records:
-            for node_id, joules in record.metrics.per_node_energy.items():
-                per_node[node_id].append(joules)
-        for node_id in range(num_nodes):
-            rows.append({
-                "protocol": name,
-                "node": node_id,
-                "energy_J": statistics.fmean(per_node[node_id]) if per_node[node_id] else 0.0,
-            })
-    return rows
+    return figure4b_plan(num_nodes, transfer_bytes, duration).run(seeds, workers, backend)
 
 
 # ---------------------------------------------------------------------------
@@ -271,18 +361,15 @@ def figure5(
 # Figure 6 — effect of cache size
 # ---------------------------------------------------------------------------
 
-def figure6(
+def figure6_plan(
     cache_sizes: Sequence[int] = (2, 5, 10, 20, 50, 100),
     net_sizes: Sequence[int] = (5, 8),
     transfer_bytes: float = 200_000.0,
     duration: float = 1200.0,
-    seeds: Sequence[int] = (1, 2),
-    workers: Optional[int] = None,
-    backend: Optional[ExecutorBackend] = None,
-) -> List[Row]:
-    """Figure 6: source retransmissions vs. in-network cache size."""
+) -> FigurePlan:
+    """Grid + aggregation for Figure 6."""
     cells = [(size, cache_size) for size in net_sizes for cache_size in cache_sizes]
-    specs = [
+    specs = tuple(
         ScenarioSpec("linear", dict(
             num_nodes=size,
             protocol="jtp",
@@ -293,16 +380,34 @@ def figure6(
             link_quality=LOSSY_LINK_QUALITY,
         ))
         for size, cache_size in cells
-    ]
-    rows: List[Row] = []
-    for (size, cache_size), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        rows.append({
-            "netSize": size,
-            "cache_size": cache_size,
-            "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
-            "cache_recoveries": statistics.fmean(r.metrics.cache_recoveries for r in records),
-        })
-    return rows
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for (size, cache_size), records in zip(cells, groups):
+            rows.append({
+                "netSize": size,
+                "cache_size": cache_size,
+                "source_rtx": statistics.fmean(r.metrics.source_retransmissions for r in records),
+                "cache_recoveries": statistics.fmean(r.metrics.cache_recoveries for r in records),
+            })
+        return rows
+
+    return FigurePlan("figure6", specs, aggregate)
+
+
+def figure6(
+    cache_sizes: Sequence[int] = (2, 5, 10, 20, 50, 100),
+    net_sizes: Sequence[int] = (5, 8),
+    transfer_bytes: float = 200_000.0,
+    duration: float = 1200.0,
+    seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = None,
+    backend: Optional[ExecutorBackend] = None,
+) -> List[Row]:
+    """Figure 6: source retransmissions vs. in-network cache size."""
+    plan = figure6_plan(cache_sizes, net_sizes, transfer_bytes, duration)
+    return plan.run(seeds, workers, backend)
 
 
 # ---------------------------------------------------------------------------
@@ -415,28 +520,49 @@ def figure8(
 # Figures 9-11 and Table 2 — protocol comparisons
 # ---------------------------------------------------------------------------
 
-def _comparison_rows(
+def _comparison_aggregate(
     cells: Sequence[Tuple[object, str]],
-    specs: Sequence[ScenarioSpec],
-    seeds: Sequence[int],
     cell_key: str,
-    workers: Optional[int],
-    backend: Optional[ExecutorBackend] = None,
-) -> List[Row]:
+) -> Callable[[Sequence[Sequence[ScenarioRecord]]], List[Row]]:
     """Shared aggregation for the figure 9/10 protocol-comparison grids."""
-    rows: List[Row] = []
-    for (cell_value, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        energy_mean, energy_ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
-        goodput_mean, goodput_ci = _mean_ci([r.metrics.goodput_kbps for r in records])
-        rows.append({
-            cell_key: cell_value,
-            "protocol": name,
-            "energy_per_bit_uJ": energy_mean,
-            "energy_per_bit_ci": energy_ci,
-            "goodput_kbps": goodput_mean,
-            "goodput_ci": goodput_ci,
-        })
-    return rows
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for (cell_value, name), records in zip(cells, groups):
+            energy_mean, energy_ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
+            goodput_mean, goodput_ci = _mean_ci([r.metrics.goodput_kbps for r in records])
+            rows.append({
+                cell_key: cell_value,
+                "protocol": name,
+                "energy_per_bit_uJ": energy_mean,
+                "energy_per_bit_ci": energy_ci,
+                "goodput_kbps": goodput_mean,
+                "goodput_ci": goodput_ci,
+            })
+        return rows
+
+    return aggregate
+
+
+def figure9_plan(
+    net_sizes: Sequence[int] = (3, 5, 7, 9),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    transfer_bytes: float = 300_000.0,
+    duration: float = 1200.0,
+) -> FigurePlan:
+    """Grid + aggregation for Figure 9."""
+    cells = [(size, name) for size in net_sizes for name in protocols]
+    specs = tuple(
+        ScenarioSpec("linear", dict(
+            num_nodes=size,
+            protocol=name,
+            transfer_bytes=transfer_bytes,
+            num_flows=2,
+            duration=duration,
+        ))
+        for size, name in cells
+    )
+    return FigurePlan("figure9", specs, _comparison_aggregate(cells, "netSize"))
 
 
 def figure9(
@@ -449,18 +575,30 @@ def figure9(
     backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 9: energy per bit and goodput on linear topologies."""
+    plan = figure9_plan(net_sizes, protocols, transfer_bytes, duration)
+    return plan.run(seeds, workers, backend)
+
+
+def figure10_plan(
+    net_sizes: Sequence[int] = (10, 15, 20),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    num_flows: int = 5,
+    transfer_bytes: float = 100_000.0,
+    duration: float = 1200.0,
+) -> FigurePlan:
+    """Grid + aggregation for Figure 10."""
     cells = [(size, name) for size in net_sizes for name in protocols]
-    specs = [
-        ScenarioSpec("linear", dict(
+    specs = tuple(
+        ScenarioSpec("random", dict(
             num_nodes=size,
             protocol=name,
+            num_flows=num_flows,
             transfer_bytes=transfer_bytes,
-            num_flows=2,
             duration=duration,
         ))
         for size, name in cells
-    ]
-    return _comparison_rows(cells, specs, seeds, "netSize", workers, backend)
+    )
+    return FigurePlan("figure10", specs, _comparison_aggregate(cells, "netSize"))
 
 
 def figure10(
@@ -474,18 +612,49 @@ def figure10(
     backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Figure 10: energy per bit and goodput on static random topologies."""
-    cells = [(size, name) for size in net_sizes for name in protocols]
-    specs = [
-        ScenarioSpec("random", dict(
-            num_nodes=size,
+    plan = figure10_plan(net_sizes, protocols, num_flows, transfer_bytes, duration)
+    return plan.run(seeds, workers, backend)
+
+
+def figure11_plan(
+    speeds: Sequence[float] = (0.1, 1.0, 5.0),
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    num_nodes: int = 15,
+    num_flows: int = 5,
+    transfer_bytes: float = 80_000.0,
+    duration: float = 1200.0,
+) -> FigurePlan:
+    """Grid + aggregation for Figure 11(a,b,c)."""
+    cells = [(speed, name) for speed in speeds for name in protocols]
+    specs = tuple(
+        ScenarioSpec("mobile", dict(
+            num_nodes=num_nodes,
             protocol=name,
+            speed=speed,
             num_flows=num_flows,
             transfer_bytes=transfer_bytes,
             duration=duration,
         ))
-        for size, name in cells
-    ]
-    return _comparison_rows(cells, specs, seeds, "netSize", workers, backend)
+        for speed, name in cells
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for (speed, name), records in zip(cells, groups):
+            delivered = [max(1.0, r.metrics.delivered_bytes / 800.0) for r in records]
+            rtx = [r.metrics.source_retransmissions for r in records]
+            recoveries = [r.metrics.cache_recoveries for r in records]
+            rows.append({
+                "speed_mps": speed,
+                "protocol": name,
+                "energy_per_bit_uJ": statistics.fmean(r.metrics.energy_per_bit_microjoules for r in records),
+                "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
+                "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
+                "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
+            })
+        return rows
+
+    return FigurePlan("figure11", specs, aggregate)
 
 
 def figure11(
@@ -505,32 +674,8 @@ def figure11(
     retransmissions and cache recoveries, normalised by delivered
     packets.
     """
-    cells = [(speed, name) for speed in speeds for name in protocols]
-    specs = [
-        ScenarioSpec("mobile", dict(
-            num_nodes=num_nodes,
-            protocol=name,
-            speed=speed,
-            num_flows=num_flows,
-            transfer_bytes=transfer_bytes,
-            duration=duration,
-        ))
-        for speed, name in cells
-    ]
-    rows: List[Row] = []
-    for (speed, name), records in zip(cells, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        delivered = [max(1.0, r.metrics.delivered_bytes / 800.0) for r in records]
-        rtx = [r.metrics.source_retransmissions for r in records]
-        recoveries = [r.metrics.cache_recoveries for r in records]
-        rows.append({
-            "speed_mps": speed,
-            "protocol": name,
-            "energy_per_bit_uJ": statistics.fmean(r.metrics.energy_per_bit_microjoules for r in records),
-            "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
-            "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
-            "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
-        })
-    return rows
+    plan = figure11_plan(speeds, protocols, num_nodes, num_flows, transfer_bytes, duration)
+    return plan.run(seeds, workers, backend)
 
 
 def table1() -> List[Row]:
@@ -546,6 +691,31 @@ def table1() -> List[Row]:
     ]
 
 
+def table2_plan(
+    protocols: Sequence[str] = ("jtp", "atp", "tcp"),
+    duration: float = 1800.0,
+    num_nodes: int = 14,
+) -> FigurePlan:
+    """Grid + aggregation for Table 2."""
+    protocols = tuple(protocols)
+    specs = tuple(
+        ScenarioSpec("testbed", dict(protocol=name, num_nodes=num_nodes, duration=duration))
+        for name in protocols
+    )
+
+    def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
+        rows: List[Row] = []
+        for name, records in zip(protocols, groups):
+            rows.append({
+                "protocol": name,
+                "energy_per_bit_mJ": statistics.fmean(r.metrics.energy_per_bit_millijoules for r in records),
+                "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
+            })
+        return rows
+
+    return FigurePlan("table2", specs, aggregate)
+
+
 def table2(
     protocols: Sequence[str] = ("jtp", "atp", "tcp"),
     duration: float = 1800.0,
@@ -555,17 +725,76 @@ def table2(
     backend: Optional[ExecutorBackend] = None,
 ) -> List[Row]:
     """Table 2: testbed-like comparison over stable, low-loss links."""
-    specs = [
-        ScenarioSpec("testbed", dict(protocol=name, num_nodes=num_nodes, duration=duration))
-        for name in protocols
-    ]
+    return table2_plan(protocols, duration, num_nodes).run(seeds, workers, backend)
+
+
+# ---------------------------------------------------------------------------
+# Tidy-row adapters for the serial trace figures (3c, 5, 7, 8)
+# ---------------------------------------------------------------------------
+#
+# The trace figures inspect live simulator state (trace events, per-flow
+# statistics objects) and therefore run serially in-process, returning
+# series-shaped dictionaries.  The ``*_rows`` adapters below re-express
+# each of them as a flat list of row dictionaries with a stable key set,
+# which is the one shape the whole pipeline speaks: ``run_paper`` returns
+# rows for every figure, the results store persists rows, and ``report``
+# renders rows.  The raw series functions stay available unchanged.
+
+
+def figure3c_rows(**kwargs: object) -> List[Row]:
+    """Figure 3(c) as tidy rows: ``protocol``, ``time``, ``attempts``.
+
+    Accepts exactly the keyword arguments of :func:`figure3c`.
+    """
     rows: List[Row] = []
-    for name, records in zip(protocols, ParallelRunner(workers, backend).run_grid(specs, seeds)):
-        rows.append({
-            "protocol": name,
-            "energy_per_bit_mJ": statistics.fmean(r.metrics.energy_per_bit_millijoules for r in records),
-            "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
-        })
+    for label, points in figure3c(**kwargs).items():
+        rows.extend(
+            {"protocol": label, "time": time, "attempts": attempts}
+            for time, attempts in points
+        )
+    return rows
+
+
+def figure5_rows(**kwargs: object) -> List[Row]:
+    """Figure 5 as tidy rows: ``variant``, ``series``, ``time``, ``rate_pps``.
+
+    ``variant`` is ``with_backoff``/``without_backoff`` and ``series``
+    one of the four per-flow reception-rate series.  Accepts exactly the
+    keyword arguments of :func:`figure5`.
+    """
+    rows: List[Row] = []
+    for variant, series_map in figure5(**kwargs).items():
+        for series, points in series_map.items():
+            rows.extend(
+                {"variant": variant, "series": series, "time": time, "rate_pps": rate}
+                for time, rate in points
+            )
+    return rows
+
+
+def figure7_rows(**kwargs: object) -> List[Row]:
+    """Figure 7 rows — :func:`figure7` already returns tidy rows."""
+    return figure7(**kwargs)
+
+
+def figure8_rows(**kwargs: object) -> List[Row]:
+    """Figure 8 as tidy rows: ``series``, ``time``, ``value``.
+
+    The reception-rate and monitor series keep their names; the control
+    limits become the ``flow1_lcl``/``flow1_ucl`` series, and flow 2's
+    activity interval is one ``flow2_interval`` row whose ``time`` is
+    the start and ``value`` the end.  Accepts exactly the keyword
+    arguments of :func:`figure8`.
+    """
+    output = figure8(**kwargs)
+    rows: List[Row] = []
+    for series in ("flow1_rate", "flow2_rate", "flow1_reported_rate", "flow1_monitor_mean"):
+        rows.extend({"series": series, "time": time, "value": value} for time, value in output[series])
+    for time, lcl, ucl in output["flow1_control_limits"]:
+        rows.append({"series": "flow1_lcl", "time": time, "value": lcl})
+        rows.append({"series": "flow1_ucl", "time": time, "value": ucl})
+    start, end = output["flow2_interval"]
+    rows.append({"series": "flow2_interval", "time": start, "value": end})
     return rows
 
 

@@ -31,7 +31,10 @@ bit-identical to a serial run:
   (thread, or a future multi-machine backend) outright.  Because every
   scenario is fully determined by its seed and results are collected in
   submission order, the aggregated output is bit-identical for every
-  backend and worker count.
+  backend and worker count.  :meth:`ParallelRunner.run_grids` extends
+  this to whole figure *sets*: several figures' grids go down as one
+  interleaved task stream (no pool drain between figures) and come back
+  demultiplexed per grid, bit-identical to per-figure submission.
 * :func:`spawn_seeds` — deterministic per-replicate seed derivation via
   :meth:`~repro.sim.random.RandomStreams.spawn`, so "give me ten
   replications of base seed 7" names the same ten seeds everywhere.
@@ -224,12 +227,55 @@ class ParallelRunner:
         result is aligned with ``specs``: one list of per-seed records
         per spec, in seed order.
         """
-        if not seeds:
-            raise ValueError("at least one seed is required")
-        tasks = [(spec, seed) for spec in specs for seed in seeds]
-        records = self.run_tasks(tasks)
-        per_spec = len(seeds)
-        return [records[i * per_spec:(i + 1) * per_spec] for i in range(len(specs))]
+        return self.run_grids([(specs, seeds)])[0]
+
+    def run_grids(
+        self,
+        grids: Sequence[Tuple[Sequence[Callable[[int], ScenarioResult]], Sequence[int]]],
+    ) -> List[List[List[ScenarioRecord]]]:
+        """Run several grids as **one** batched submission to the backend.
+
+        ``grids`` is a sequence of ``(specs, seeds)`` pairs — typically
+        one per figure.  Instead of draining the pool once per grid (the
+        pre-batching behaviour, which left workers idle at every figure
+        boundary), all grids' ``spec × seed`` tasks are interleaved
+        round-robin across the grids and submitted as a single task
+        stream, so short cells from one figure fill workers while
+        another figure's long cells are still running.  The results are
+        demultiplexed back per grid: element ``g`` of the return value
+        is exactly what ``run_grid(*grids[g])`` would return —
+        bit-identical, because every task is fully determined by its
+        ``(spec, seed)`` pair and records are matched back to their
+        submission slot, never to a worker or a completion order.
+        """
+        grids = list(grids)
+        per_grid_tasks: List[List[Tuple[Callable[[int], ScenarioResult], int]]] = []
+        for specs, seeds in grids:
+            if not seeds:
+                raise ValueError("at least one seed is required")
+            per_grid_tasks.append([(spec, seed) for spec in specs for seed in seeds])
+        # Round-robin interleave: task k of every grid, then task k+1 of
+        # every grid, and so on.  ``order`` remembers each submission
+        # slot's home (grid, task index) so the demux below is exact.
+        order: List[Tuple[int, int]] = []
+        longest = max((len(tasks) for tasks in per_grid_tasks), default=0)
+        for task_index in range(longest):
+            for grid_index, tasks in enumerate(per_grid_tasks):
+                if task_index < len(tasks):
+                    order.append((grid_index, task_index))
+        records = self.run_tasks([per_grid_tasks[g][i] for g, i in order])
+        demuxed: List[List[Optional[ScenarioRecord]]] = [
+            [None] * len(tasks) for tasks in per_grid_tasks
+        ]
+        for (grid_index, task_index), record in zip(order, records):
+            demuxed[grid_index][task_index] = record
+        grouped: List[List[List[ScenarioRecord]]] = []
+        for (specs, seeds), flat in zip(grids, demuxed):
+            per_spec = len(seeds)
+            grouped.append(
+                [flat[i * per_spec:(i + 1) * per_spec] for i in range(len(specs))]
+            )
+        return grouped
 
     # -- sweeps -----------------------------------------------------------------------
 

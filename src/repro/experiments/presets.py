@@ -16,22 +16,39 @@ of being re-hardcoded by every driver:
   have always used, rather than spawned seeds.
 * :func:`preset_seeds` — turn a preset name (or an explicit count) plus
   a scenario family into the seed list.
-* :func:`run_paper` — regenerate every metric-only figure (3, 4, 4b, 6,
-  9, 10, 11 and Table 2) through **one shared executor backend**, so a
-  full-paper run pays pool start-up once, not once per figure.
+* :func:`run_paper` — regenerate **every** figure of the paper in one
+  call.  The metric figures (3, 4, 4b, 6, 9, 10, 11, Table 2) are
+  planned up front (:class:`~repro.experiments.figures.FigurePlan`) and
+  their grids submitted as **one batched, interleaved stream** over a
+  single shared executor backend
+  (:meth:`~repro.experiments.parallel.ParallelRunner.run_grids`), so
+  short cells from one figure keep workers busy while another figure's
+  long cells run and the pool never drains at a figure boundary.  The
+  serial trace figures (3c, 5, 7, 8) run in-process behind the same
+  interface via their row adapters, so the returned mapping holds tidy
+  rows for every figure.  With ``out_dir=`` the whole run — rows,
+  seeds, preset, backend, git provenance — is persisted as a run
+  directory via :mod:`repro.experiments.results`, loadable with
+  :func:`~repro.experiments.results.load_run` and renderable with
+  ``python -m repro.experiments <run_dir>``.
 
-``run_paper(seeds="smoke", workers=2)`` is the CI smoke invocation: it
-shrinks every figure to its smoke parameters and finishes in well under
-a minute on two workers.
+``run_paper(seeds="smoke", workers=2, out_dir="smoke-run")`` is the CI
+smoke invocation: it shrinks every figure to its smoke parameters,
+finishes in well under a minute on two workers, and leaves a loadable
+run directory behind as the job's artifact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.backends import ExecutorBackend, resolve_backend
-from repro.experiments.parallel import spawn_seeds
+from repro.experiments.parallel import ParallelRunner, spawn_seeds
+from repro.experiments.results import PathLike, git_metadata, save_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.experiments.figures import FigurePlan
 
 #: Replications per figure cell in the paper's evaluation (Section 4).
 PAPER_LINEAR = 20
@@ -82,23 +99,42 @@ def preset_seeds(
 
 @dataclass(frozen=True)
 class FigureJob:
-    """One metric-only figure: how to call it and how to shrink it for CI."""
+    """One figure of the paper: how to run it and how to shrink it for CI.
+
+    ``kind`` selects the execution path: ``"metric"`` figures expose a
+    ``<name>_plan()`` builder whose grid joins the batched pool
+    submission, while ``"trace"`` figures expose a ``<name>_rows()``
+    adapter and run serially in-process (they inspect live simulator
+    state, which cannot cross a worker boundary).
+    """
 
     name: str
     family: str
     #: Parameter overrides applied for ``seeds="smoke"`` so a full smoke
     #: sweep stays CI-sized; paper runs use the figure defaults.
     smoke_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: ``"metric"`` (batched grid) or ``"trace"`` (serial row adapter).
+    kind: str = "metric"
 
     def func(self) -> Callable[..., List[dict]]:
         from repro.experiments import figures
 
         return getattr(figures, self.name)
 
+    def planner(self) -> Callable[..., "FigurePlan"]:
+        """The figure's ``<name>_plan()`` builder (metric figures only)."""
+        from repro.experiments import figures
 
-#: The metric-only figures run by :func:`run_paper`, in paper order.
-#: Figures needing live trace state (3c, 5, 7, 8) stay serial and are
-#: regenerated by their dedicated benchmark drivers instead.
+        return getattr(figures, f"{self.name}_plan")
+
+    def rows_func(self) -> Callable[..., List[dict]]:
+        """The figure's ``<name>_rows()`` adapter (trace figures only)."""
+        from repro.experiments import figures
+
+        return getattr(figures, f"{self.name}_rows")
+
+
+#: The metric figures batched by :func:`run_paper`, in paper order.
 METRIC_FIGURES: Tuple[FigureJob, ...] = (
     FigureJob(
         "figure3",
@@ -142,7 +178,66 @@ METRIC_FIGURES: Tuple[FigureJob, ...] = (
     ),
 )
 
-_JOBS_BY_NAME: Dict[str, FigureJob] = {job.name: job for job in METRIC_FIGURES}
+#: The serial trace figures run by :func:`run_paper` via their row
+#: adapters.  They inspect live simulator state (trace events, per-flow
+#: statistics) and therefore execute in-process, not on the pool; their
+#: smoke kwargs shrink each to a CI-sized single run.
+TRACE_FIGURES: Tuple[FigureJob, ...] = (
+    FigureJob(
+        "figure3c",
+        "linear",
+        smoke_kwargs=dict(num_nodes=4, tolerances=(0.10, 0.20), transfer_bytes=40_000, duration=400),
+        kind="trace",
+    ),
+    FigureJob(
+        "figure5",
+        "linear",
+        smoke_kwargs=dict(num_nodes=5, duration=300, transfer_bytes=100_000),
+        kind="trace",
+    ),
+    FigureJob(
+        "figure7",
+        "linear",
+        smoke_kwargs=dict(
+            feedback_rates=(0.1, 0.5),
+            num_nodes=5,
+            duration=300,
+            long_transfer_bytes=120_000,
+            short_transfer_bytes=15_000,
+            num_short_flows=2,
+        ),
+        kind="trace",
+    ),
+    FigureJob(
+        "figure8",
+        "linear",
+        smoke_kwargs=dict(num_nodes=4, duration=400, flow2_start=120.0, flow2_duration=120.0),
+        kind="trace",
+    ),
+)
+
+#: Paper-order figure names, used to interleave metric and trace jobs.
+_PAPER_ORDER = (
+    "figure3",
+    "figure3c",
+    "figure4",
+    "figure4b",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "table2",
+)
+
+#: Every figure :func:`run_paper` regenerates, in paper order.
+ALL_FIGURES: Tuple[FigureJob, ...] = tuple(
+    sorted(METRIC_FIGURES + TRACE_FIGURES, key=lambda job: _PAPER_ORDER.index(job.name))
+)
+
+_JOBS_BY_NAME: Dict[str, FigureJob] = {job.name: job for job in ALL_FIGURES}
 
 
 def run_paper(
@@ -152,34 +247,92 @@ def run_paper(
     workers: Optional[int] = None,
     base_seed: int = 0,
     overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    out_dir: Optional[PathLike] = None,
 ) -> Dict[str, List[dict]]:
-    """Regenerate the metric-only figures through one shared backend.
+    """Regenerate the paper's figures — one batched submission, one call.
 
-    ``figures`` names a subset (default: all of :data:`METRIC_FIGURES`);
+    ``figures`` names a subset (default: all of :data:`ALL_FIGURES`);
     ``seeds`` is a preset name (``"paper"``/``"smoke"``), a replication
     count, or an explicit seed list; ``backend``/``workers`` select the
     executor exactly as in
     :class:`~repro.experiments.parallel.ParallelRunner` (pass at most
-    one — the default is the shared persistent process pool, so all
-    figures reuse a single set of workers).  ``overrides`` maps figure
-    names to extra keyword arguments, applied on top of the smoke
-    shrinkage when ``seeds="smoke"``.  Returns ``{figure name: rows}``.
+    one — the default is the shared persistent process pool).
+    ``overrides`` maps figure names to extra keyword arguments, applied
+    on top of the smoke shrinkage when ``seeds="smoke"``.
+
+    The metric figures are planned first and all their cells submitted
+    to the backend as **one** interleaved task stream
+    (:meth:`~repro.experiments.parallel.ParallelRunner.run_grids`), so
+    the pool never drains between figures; each figure's rows are then
+    aggregated from its demultiplexed slice — bit-identical to calling
+    the figure functions one at a time.  The trace figures (3c, 5, 7,
+    8) run serially in-process through their row adapters.  Trace
+    figures are single-run by construction: their replication seed is a
+    figure parameter (override via ``overrides``), not the ``seeds``
+    preset.
+
+    Returns ``{figure name: rows}`` in paper order.  With ``out_dir``
+    the same mapping is persisted as a run directory
+    (:func:`~repro.experiments.results.save_run`) whose manifest records
+    the preset, resolved per-family seed lists, backend, base seed and
+    git provenance.
     """
     if figures is None:
-        jobs = list(METRIC_FIGURES)
+        jobs = list(ALL_FIGURES)
     else:
         unknown = sorted(set(figures) - set(_JOBS_BY_NAME))
         if unknown:
             raise ValueError(f"unknown figures {unknown}; known: {sorted(_JOBS_BY_NAME)}")
+        if len(set(figures)) != len(list(figures)):
+            # Duplicates would be simulated in full and then silently
+            # collapsed into one results entry — reject them instead.
+            raise ValueError(f"duplicate figure names in {list(figures)}")
         jobs = [_JOBS_BY_NAME[name] for name in figures]
     resolved = resolve_backend(workers=workers, backend=backend)
-    results: Dict[str, List[dict]] = {}
-    for job in jobs:
+
+    def job_kwargs(job: FigureJob) -> Dict[str, object]:
         kwargs: Dict[str, object] = {}
         if seeds == "smoke":
             kwargs.update(job.smoke_kwargs)
         if overrides and job.name in overrides:
             kwargs.update(overrides[job.name])
-        seed_list = preset_seeds(seeds, family=job.family, base_seed=base_seed)
-        results[job.name] = job.func()(seeds=seed_list, backend=resolved, **kwargs)
+        return kwargs
+
+    # Plan every metric figure up front, submit all their grids as one
+    # interleaved batch, then aggregate each figure from its own slice.
+    planned = [
+        (job, job.planner()(**job_kwargs(job)), preset_seeds(seeds, family=job.family, base_seed=base_seed))
+        for job in jobs
+        if job.kind == "metric"
+    ]
+    rows_by_name: Dict[str, List[dict]] = {}
+    if planned:
+        grouped = ParallelRunner(backend=resolved).run_grids(
+            [(plan.specs, seed_list) for _, plan, seed_list in planned]
+        )
+        for (job, plan, _), groups in zip(planned, grouped):
+            rows_by_name[job.name] = plan.aggregate(groups)
+    for job in jobs:
+        if job.kind == "trace":
+            rows_by_name[job.name] = job.rows_func()(**job_kwargs(job))
+
+    results = {job.name: rows_by_name[job.name] for job in jobs}
+    if out_dir is not None:
+        metadata = {
+            "driver": "run_paper",
+            "seeds_arg": seeds if isinstance(seeds, (str, int)) else list(seeds),
+            "seeds": {
+                family: list(preset_seeds(seeds, family=family, base_seed=base_seed))
+                for family in ("linear", "random")
+            },
+            "base_seed": base_seed,
+            "backend": resolved.name,
+            "workers": resolved.workers,
+            # Effective per-figure parameters (smoke shrinkage plus
+            # overrides; empty = figure defaults), so an overridden run
+            # is distinguishable from a default one when loaded back.
+            "figure_params": {job.name: job_kwargs(job) for job in jobs},
+            "git": git_metadata(),
+        }
+        save_run(results, out_dir, metadata)
     return results

@@ -3,6 +3,15 @@
 The benchmark harness prints the same rows/series the paper's figures
 plot; this module turns lists of row dictionaries into aligned text
 tables so a bench run reads like the paper's tables.
+
+It also renders **stored** runs: :func:`format_run` takes the
+``{figure: rows}`` mapping that :func:`~repro.experiments.presets.run_paper`
+returns (or that :func:`~repro.experiments.results.load_run` reads back
+from a run directory) and renders every figure's table, and::
+
+    python -m repro.experiments <run_dir>
+
+prints a persisted run without re-running any simulation.
 """
 
 from __future__ import annotations
@@ -50,3 +59,60 @@ def _fmt(value: object) -> str:
             return f"{value:.2f}"
         return f"{value:.4f}"
     return str(value)
+
+
+def format_run(
+    results: Mapping[str, Sequence[Mapping[str, object]]],
+    max_rows: int = 30,
+) -> str:
+    """Render a whole ``{figure: rows}`` mapping as one report.
+
+    Accepts what :func:`~repro.experiments.presets.run_paper` returns
+    and what :func:`~repro.experiments.results.load_run` loads back
+    (``run.rows``).  Long time-series figures are truncated to
+    ``max_rows`` rows per table with an elision note, so a stored trace
+    figure does not drown the metric tables; ``max_rows <= 0`` means
+    unlimited.
+    """
+    sections: List[str] = []
+    for name, rows in results.items():
+        rows = list(rows)
+        shown = rows[:max_rows] if max_rows > 0 else rows
+        table = format_table(shown, title=f"== {name} ({len(rows)} rows)")
+        if len(rows) > len(shown):
+            table += f"\n... {len(rows) - len(shown)} more rows"
+        sections.append(table)
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: render a persisted run directory as paper-style tables."""
+    import argparse
+
+    from repro.experiments.results import load_run
+
+    parser = argparse.ArgumentParser(
+        description="Render a stored experiment run (a run directory written "
+        "by run_paper(out_dir=...) or the benchmark harness) as text tables."
+    )
+    parser.add_argument("run_dir", help="run directory containing manifest.json and <figure>.json files")
+    parser.add_argument("--max-rows", type=int, default=30,
+                        help="rows shown per figure table (<= 0 = unlimited; default: 30)")
+    args = parser.parse_args(argv)
+
+    run = load_run(args.run_dir)
+    metadata = run.metadata
+    if metadata:
+        import json
+
+        print(f"# {run.directory}")
+        for key, value in metadata.items():
+            rendered = value if isinstance(value, str) else json.dumps(value, default=str)
+            print(f"#   {key}: {rendered}")
+        print()
+    print(format_run(run.rows, max_rows=args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

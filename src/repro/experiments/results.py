@@ -1,0 +1,332 @@
+"""On-disk results store for figure rows.
+
+A paper reproduction is only useful if it leaves artifacts behind: rows
+that can be re-plotted, diffed against a previous run, or attached to a
+CI job, without re-running hours of simulation.  This module persists
+the ``{figure name: rows}`` mapping every pipeline entry point produces
+(:func:`~repro.experiments.presets.run_paper`, the benchmark drivers,
+the examples) into a **run directory** and loads it back.
+
+Layout of a run directory::
+
+    <run_dir>/
+        manifest.json      # figure list + run metadata (see below)
+        figure3.json       # {"figure": "figure3", "rows": [...]}
+        figure3.csv        # the same rows, one column per key
+        figure3c.json
+        figure3c.csv
+        ...
+
+* ``manifest.json`` records the figure names in paper order plus
+  whatever run metadata the writer supplied — ``run_paper`` stores the
+  seed preset and the resolved per-family seed lists, the backend name
+  and worker count, the base seed, and the git commit/branch/dirty flag
+  of the producing checkout, so a stored run is attributable and
+  reproducible.
+* ``<figure>.json`` is the canonical row store (what :func:`load_run`
+  reads back); the sibling ``.csv`` carries the same rows for
+  spreadsheet and plotting tools and is write-only as far as this
+  module is concerned.
+
+Rows are lists of flat dictionaries (the one shape every figure in
+:mod:`repro.experiments.figures` now produces, trace figures included
+via their ``*_rows`` adapters).  Values that JSON does not know are
+stringified rather than rejected, so an enum-valued row cannot poison a
+whole run's persistence.
+
+:func:`load_run` returns a :class:`RunResults` whose ``rows`` mapping
+is directly consumable by :func:`repro.experiments.report.format_run`
+(``python -m repro.experiments <run_dir>`` renders a stored run
+as the paper-style tables without re-simulating anything).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Row = Dict[str, object]
+PathLike = Union[str, Path]
+
+#: Name of the per-run metadata file inside a run directory.
+MANIFEST_NAME = "manifest.json"
+#: Version stamp written into every manifest; bump on layout changes.
+MANIFEST_FORMAT = 1
+
+
+def git_metadata(cwd: Optional[PathLike] = None) -> Dict[str, object]:
+    """Commit, branch and dirty flag of the checkout producing the run.
+
+    Best-effort: outside a git checkout (or without a ``git`` binary)
+    an empty mapping comes back and persistence proceeds without
+    provenance rather than failing the run.  The default anchor is the
+    process working directory — the checkout the experiment is run
+    from — not this module's install location, which for a non-editable
+    install says nothing about the run.
+    """
+    where = Path(cwd) if cwd is not None else Path.cwd()
+
+    def _git(*args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ("git", *args),
+                cwd=where,
+                capture_output=True,
+                text=True,
+                timeout=5.0,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.strip()
+
+    commit = _git("rev-parse", "HEAD")
+    if commit is None:
+        return {}
+    status = _git("status", "--porcelain")
+    return {
+        "commit": commit,
+        "branch": _git("rev-parse", "--abbrev-ref", "HEAD"),
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def _row_columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Union of row keys in first-seen order (rows may differ in keys)."""
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    return columns
+
+
+def save_rows(directory: PathLike, name: str, rows: Sequence[Mapping[str, object]]) -> Path:
+    """Persist one figure's rows as ``<name>.json`` + ``<name>.csv``.
+
+    Creates the run directory if needed and returns the JSON path (the
+    canonical store; the CSV is a convenience mirror for external
+    tools).  If the directory already has a manifest (a previous
+    :func:`save_run`), the figure is registered in its figure list so
+    incremental additions — e.g. the benchmark harness appending to a
+    ``run_paper`` directory via ``REPRO_RUN_DIR`` — stay visible to
+    :func:`load_run`; otherwise the manifest is left for
+    :func:`save_run`/:func:`write_manifest` to create.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = [dict(row) for row in rows]
+    json_path = directory / f"{name}.json"
+    json_path.write_text(
+        json.dumps({"figure": name, "rows": rows}, indent=2, default=str) + "\n"
+    )
+    columns = _row_columns(rows)
+    with (directory / f"{name}.csv").open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _csv_value(value) for key, value in row.items()})
+    _register_in_manifest(directory, name)
+    return json_path
+
+
+def _register_in_manifest(directory: Path, name: str) -> None:
+    """Record an incremental :func:`save_rows` in an existing manifest.
+
+    A new figure name is appended to the manifest's figure list; a name
+    the manifest already lists means the figure's rows were just
+    *overwritten* by a producer other than the one the manifest's
+    metadata describes, so it is recorded under ``amended`` — the
+    manifest-level metadata (seeds, backend, figure params) no longer
+    vouches for that figure.
+    """
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        return
+    try:
+        manifest = json.loads(path.read_text())
+    except ValueError:
+        return
+    figures = manifest.get("figures") if isinstance(manifest, dict) else None
+    if not isinstance(figures, list):
+        return
+    if name not in figures:
+        figures.append(name)
+    else:
+        amended = manifest.get("amended")
+        amended = amended if isinstance(amended, list) else []
+        if name in amended:
+            return
+        amended.append(name)
+        manifest["amended"] = amended
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+
+
+def _csv_value(value: object) -> object:
+    if value is None:
+        return ""
+    if isinstance(value, (int, float, str, bool)):
+        return value
+    return str(value)
+
+
+def write_manifest(
+    directory: PathLike,
+    figures: Sequence[str],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write (or overwrite) a run directory's ``manifest.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "figures": list(figures),
+        "metadata": dict(metadata or {}),
+    }
+    path = directory / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return path
+
+
+def _read_payload(path: Path) -> Optional[object]:
+    """Parse a JSON file, returning ``None`` on read or parse failure."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _payload_is_row_store(payload: object, stem: str) -> bool:
+    """Whether a parsed payload is a row store :func:`save_rows` wrote.
+
+    Requires both the ``rows`` list and the ``figure`` self-naming field
+    matching the file stem — the exact shape :func:`save_rows` writes —
+    so a foreign export that merely happens to contain a ``rows`` key is
+    never mistaken for (or deleted as) one of ours.
+    """
+    return (
+        isinstance(payload, dict)
+        and isinstance(payload.get("rows"), list)
+        and payload.get("figure") == stem
+    )
+
+
+def _is_row_store(path: Path) -> bool:
+    """Whether a ``.json`` file is a row store written by :func:`save_rows`."""
+    return _payload_is_row_store(_read_payload(path), path.stem)
+
+
+def save_run(
+    results: Mapping[str, Sequence[Mapping[str, object]]],
+    directory: PathLike,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Persist a whole ``{figure: rows}`` mapping plus its manifest.
+
+    Returns the run directory.  ``metadata`` lands verbatim in the
+    manifest's ``metadata`` field (callers typically record seeds,
+    preset, backend and :func:`git_metadata`).
+
+    A run directory holds exactly one run: row stores left over from a
+    previous ``save_run`` to the same directory (figures not in this
+    run's ``results``) are deleted along with their CSV mirrors, so a
+    reused ``out_dir`` can never mix a stale figure's rows into a fresh
+    run's manifest.  Files that are not row stores are left alone.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # Clear the previous run *before* writing anything: drop its
+    # manifest (this run writes its own at the end; meanwhile the
+    # per-figure save_rows calls skip their incremental registration)
+    # and every row store it left — including figures this run is about
+    # to rewrite, so an interrupted save can never leave an old figure's
+    # rows to be loaded as if they belonged to the new run.  At worst
+    # the directory holds a partial prefix of the new run.
+    (directory / MANIFEST_NAME).unlink(missing_ok=True)
+    for stale in directory.glob("*.json"):
+        if _is_row_store(stale):
+            stale.unlink()
+            (directory / f"{stale.stem}.csv").unlink(missing_ok=True)
+    for name, rows in results.items():
+        save_rows(directory, name, rows)
+    write_manifest(directory, list(results), metadata)
+    return directory
+
+
+def load_rows(directory: PathLike, name: str) -> List[Row]:
+    """Load one figure's rows back from ``<name>.json``."""
+    path = Path(directory) / f"{name}.json"
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or not isinstance(payload.get("rows"), list):
+        raise ValueError(f"{path} is not a row store written by save_rows")
+    if payload.get("figure") not in (None, name):
+        raise ValueError(
+            f"{name}.json claims to hold figure {payload.get('figure')!r}, not {name!r}"
+        )
+    return [dict(row) for row in payload["rows"]]
+
+
+@dataclass(frozen=True)
+class RunResults:
+    """A loaded run directory: manifest plus every figure's rows."""
+
+    directory: Path
+    manifest: Dict[str, object] = field(default_factory=dict)
+    rows: Dict[str, List[Row]] = field(default_factory=dict)
+
+    @property
+    def figures(self) -> List[str]:
+        return list(self.rows)
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        meta = self.manifest.get("metadata", {})
+        return dict(meta) if isinstance(meta, dict) else {}
+
+
+def load_run(directory: PathLike) -> RunResults:
+    """Load a run directory written by :func:`save_run`.
+
+    With a manifest, its figure list is authoritative (order preserved);
+    a row file it names must exist.  Without one — an incremental
+    :func:`save_rows`-only producer such as the benchmark harness — the
+    directory's row-store files are loaded in name order, skipping
+    ``.json`` files that were not written by :func:`save_rows`.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no run directory at {directory}")
+    manifest: Dict[str, object] = {}
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        if not isinstance(manifest, dict):
+            raise ValueError(f"{manifest_path} is not a run manifest written by save_run")
+        names = [str(name) for name in manifest.get("figures", [])]
+        missing = [name for name in names if not (directory / f"{name}.json").exists()]
+        if missing:
+            raise FileNotFoundError(
+                f"run directory {directory} is missing row files for {missing}"
+            )
+        rows = {name: load_rows(directory, name) for name in names}
+    else:
+        # No manifest (incremental save_rows producer): each candidate
+        # file is parsed once — detection and loading share the payload.
+        rows = {}
+        for path in sorted(directory.glob("*.json")):
+            if path.name == MANIFEST_NAME:
+                continue
+            payload = _read_payload(path)
+            if _payload_is_row_store(payload, path.stem):
+                rows[path.stem] = [dict(row) for row in payload["rows"]]
+    return RunResults(directory=directory, manifest=manifest, rows=rows)

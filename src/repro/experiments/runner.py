@@ -22,10 +22,37 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 from repro.experiments.scenarios import ScenarioResult
 
 #: Two-sided 95% critical values of Student's t distribution, indexed by
-#: degrees of freedom (df = n - 1).  Only small sample counts are used
-#: by the harness; larger counts fall back to the normal value 1.96.
-_T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 14: 2.145, 19: 2.093}
+#: degrees of freedom (df = n - 1).  The table is dense over df 1-30 —
+#: the range every paper figure lands in (20 linear / 10 random
+#: replications) — plus the standard 40/60/120 anchors.  Degrees of
+#: freedom between or beyond table entries round *down* to the nearest
+#: smaller entry: t decreases with df, so a smaller-df critical value is
+#: always >= the true one and the reported interval errs on the wide
+#: (conservative) side, never the narrow side.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom.
+
+    Exact for every df in :data:`_T_95` (all of 1-30, then 40/60/120);
+    other df round down to the nearest smaller table entry, which
+    over-covers rather than under-covers.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    critical = _T_95.get(df)
+    if critical is None:
+        critical = _T_95[max(k for k in _T_95 if k <= df)]
+    return critical
 
 
 def replicate(
@@ -38,16 +65,26 @@ def replicate(
     With ``workers=1`` (the default) or ``workers=0`` the builders run
     serially in this process and the live :class:`ScenarioResult`
     objects are returned — exactly the historical semantics the
-    reproducibility tests pin.  With ``workers=N`` (or ``workers=None``
-    for ``os.cpu_count()``) the runs fan out over the shared persistent
-    process pool and the picklable
+    reproducibility tests pin.  Any other value fans the runs out via
+    :class:`~repro.experiments.parallel.ParallelRunner` — ``workers=N``
+    over the shared persistent pool for that count, ``workers=None``
+    over one worker per CPU core (``os.cpu_count()``; a one-core
+    machine executes serially) — and the picklable
     :class:`~repro.experiments.parallel.ScenarioRecord` summaries come
-    back instead, in seed order; the aggregation helpers below accept
-    either.
+    back instead, in seed order.  The fan-out return type does not
+    depend on the machine: ``workers=None`` always yields records, even
+    when ``os.cpu_count()`` resolves to a serial execution.  The
+    aggregation helpers below accept results and records alike.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
-    if workers is not None and workers in (0, 1):
+    if workers is None:
+        # Documented cpu_count fan-out: never shadowed by the serial
+        # live-result path below, which only ``workers=0``/``1`` select.
+        from repro.experiments.parallel import ParallelRunner
+
+        return ParallelRunner(workers=None).replicate(builder, seeds)
+    if workers in (0, 1):
         return [builder(seed) for seed in seeds]
     from repro.experiments.parallel import ParallelRunner
 
@@ -81,10 +118,8 @@ def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> fl
     n = len(values)
     if n < 2:
         return 0.0
-    df = n - 1
-    critical = _T_95.get(df, 1.96 if df > 19 else _T_95[min(k for k in _T_95 if k >= df)])
     stdev = statistics.stdev(values)
-    return critical * stdev / math.sqrt(n)
+    return t_critical_95(n - 1) * stdev / math.sqrt(n)
 
 
 def summarize(results: Sequence[ScenarioResult], attribute: str) -> Dict[str, float]:

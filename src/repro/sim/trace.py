@@ -15,6 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
+#: Sentinel distinguishing "field absent" from "field holds None" in
+#: :meth:`TraceRecorder.events` filters — an event that lacks a filtered
+#: field never matches, whatever the filter value.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -48,12 +53,18 @@ class TraceRecorder:
         self._events.append(TraceEvent(kind=kind, time=time, fields=dict(fields)))
 
     def events(self, kind: Optional[str] = None, **filters: Any) -> List[TraceEvent]:
-        """All recorded events, optionally filtered by kind and field values."""
+        """All recorded events, optionally filtered by kind and field values.
+
+        A filter only matches events that *have* the field with the given
+        value; events lacking the field are always excluded (so filtering
+        on ``value=None`` selects events whose field is ``None``, not
+        events without the field).
+        """
         result = self._events
         if kind is not None:
             result = [e for e in result if e.kind == kind]
         for key, value in filters.items():
-            result = [e for e in result if e.get(key) == value]
+            result = [e for e in result if e.fields.get(key, _MISSING) == value]
         return list(result)
 
     def series(self, kind: str, value_field: str, **filters: Any) -> List[tuple]:

@@ -105,6 +105,44 @@ class TestRunner:
         with pytest.raises(ValueError):
             confidence_interval([1.0, 2.0], confidence=0.99)
 
+    def test_confidence_interval_df15_regression(self):
+        # df=15 used to round *up* to the next table entry t(19)=2.093,
+        # making every 16-replication error bar too narrow; the true
+        # critical value is t(15)=2.131.
+        import math
+        import statistics
+
+        values = [float(i) for i in range(16)]
+        scale = statistics.stdev(values) / math.sqrt(len(values))
+        assert confidence_interval(values) == pytest.approx(2.131 * scale)
+        assert confidence_interval(values) > 2.093 * scale
+
+    def test_t_table_exact_for_all_small_samples(self):
+        # The acceptance bar: for 2 <= n <= 31 (df 1..30) the critical
+        # value is the exact table entry — never a smaller one.
+        from repro.experiments.runner import _T_95, t_critical_95
+
+        for n in range(2, 32):
+            assert t_critical_95(n - 1) == _T_95[n - 1]
+
+    def test_t_critical_rounds_down_between_entries(self):
+        # Between/beyond table entries the lookup rounds *down* to a
+        # smaller df, whose critical value is larger — conservative.
+        from repro.experiments.runner import t_critical_95
+
+        assert t_critical_95(35) == t_critical_95(30) == 2.042
+        assert t_critical_95(50) == 2.021   # t(40), not t(60)
+        assert t_critical_95(1000) == 1.980  # t(120), never below
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_t_table_is_monotone_decreasing(self):
+        from repro.experiments.runner import _T_95
+
+        keys = sorted(_T_95)
+        criticals = [_T_95[k] for k in keys]
+        assert criticals == sorted(criticals, reverse=True)
+
 
 class TestReport:
     def test_format_table_alignment(self):

@@ -116,6 +116,44 @@ class TestParallelRunner:
             assert all(r.metrics.num_nodes == spec.params["num_nodes"] for r in records)
 
 
+class TestRunGrids:
+    GRID_A = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
+    GRID_B = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
+
+    def test_batched_submission_matches_per_grid_bit_identically(self):
+        # Uneven grids (different spec counts *and* seed counts) so the
+        # round-robin interleave and the demux are both exercised —
+        # serial, shared process pool and thread pool must all agree.
+        from repro.experiments.backends import ThreadBackend
+
+        runners = [ParallelRunner(workers=1), ParallelRunner(workers=2)]
+        with ThreadBackend(workers=2) as thread_backend:
+            runners.append(ParallelRunner(backend=thread_backend))
+            reference = None
+            for runner in runners:
+                batched = runner.run_grids([(self.GRID_A, [1, 2]), (self.GRID_B, [3])])
+                assert batched[0] == runner.run_grid(self.GRID_A, [1, 2])
+                assert batched[1] == runner.run_grid(self.GRID_B, [3])
+                if reference is None:
+                    reference = batched
+                assert batched == reference
+
+    def test_batched_groups_align_with_their_grids(self):
+        batched = ParallelRunner(workers=1).run_grids([(self.GRID_A, [1, 2]), (self.GRID_B, [3])])
+        assert [len(groups) for groups in batched] == [2, 1]
+        for spec, records in zip(self.GRID_A, batched[0]):
+            assert [r.seed for r in records] == [1, 2]
+            assert all(r.metrics.num_nodes == spec.params["num_nodes"] for r in records)
+        assert [r.seed for r in batched[1][0]] == [3]
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=1).run_grids([(self.GRID_A, [])])
+
+    def test_no_grids_is_empty(self):
+        assert ParallelRunner(workers=1).run_grids([]) == []
+
+
 class TestSweep:
     def test_sweep_rows_echo_grid_and_carry_cis(self):
         rows = ParallelRunner(workers=2).sweep(
@@ -168,5 +206,16 @@ class TestReplicateRewiring:
         spec = ScenarioSpec("linear", SMALL_LINEAR)
         records = replicate(spec, seeds=[1, 2], workers=2)
         assert all(isinstance(r, ScenarioRecord) for r in records)
+        serial = replicate(spec, seeds=[1, 2], workers=1)
+        assert [r.metrics for r in records] == [r.metrics for r in serial]
+
+    def test_workers_none_is_the_documented_cpu_count_fan_out(self):
+        # workers=None must reach the ParallelRunner fan-out (records
+        # back, in seed order) and never fall into the serial
+        # live-results path — whatever os.cpu_count() resolves to.
+        spec = ScenarioSpec("linear", SMALL_LINEAR)
+        records = replicate(spec, seeds=[1, 2], workers=None)
+        assert all(isinstance(r, ScenarioRecord) for r in records)
+        assert [r.seed for r in records] == [1, 2]
         serial = replicate(spec, seeds=[1, 2], workers=1)
         assert [r.metrics for r in records] == [r.metrics for r in serial]

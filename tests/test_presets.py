@@ -5,14 +5,17 @@ import pytest
 from repro.experiments.backends import SerialBackend
 from repro.experiments.parallel import spawn_seeds
 from repro.experiments.presets import (
+    ALL_FIGURES,
     METRIC_FIGURES,
     PAPER_LINEAR,
     PAPER_RANDOM,
     SMOKE_LINEAR,
     SMOKE_RANDOM,
+    TRACE_FIGURES,
     preset_seeds,
     run_paper,
 )
+from repro.experiments.results import load_run
 
 
 class TestPresetSeeds:
@@ -64,13 +67,62 @@ class TestMetricFigures:
     def test_every_job_resolves_to_a_figure_function(self):
         for job in METRIC_FIGURES:
             assert callable(job.func())
+            assert callable(job.planner())
             assert job.family in ("linear", "random")
+            assert job.kind == "metric"
+
+    def test_covers_the_trace_figures(self):
+        assert [job.name for job in TRACE_FIGURES] == [
+            "figure3c",
+            "figure5",
+            "figure7",
+            "figure8",
+        ]
+        for job in TRACE_FIGURES:
+            assert callable(job.func())
+            assert callable(job.rows_func())
+            assert job.kind == "trace"
+
+    def test_wrapper_and_plan_defaults_agree(self):
+        # run_paper(seeds="paper") uses the figureN_plan() defaults while
+        # a direct figureN() call passes its own defaults into the plan;
+        # the two signatures restate the paper parameters and must never
+        # drift apart, or batched rows silently diverge from direct calls.
+        import inspect
+
+        for job in METRIC_FIGURES:
+            wrapper = inspect.signature(job.func()).parameters
+            for name, param in inspect.signature(job.planner()).parameters.items():
+                assert name in wrapper, (job.name, name)
+                assert wrapper[name].default == param.default, (job.name, name)
+
+    def test_all_figures_is_every_figure_in_paper_order(self):
+        assert [job.name for job in ALL_FIGURES] == [
+            "figure3",
+            "figure3c",
+            "figure4",
+            "figure4b",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "table2",
+        ]
 
 
 class TestRunPaper:
     def test_unknown_figure_rejected(self):
         with pytest.raises(ValueError):
             run_paper(figures=["figure3", "figure99"])
+
+    def test_duplicate_figures_rejected(self):
+        # A duplicate would be simulated twice and silently collapsed
+        # into one results entry.
+        with pytest.raises(ValueError):
+            run_paper(figures=["figure3", "figure3"])
 
     def test_smoke_subset_runs_through_one_backend(self):
         rows_by_figure = run_paper(
@@ -97,3 +149,72 @@ class TestRunPaper:
     def test_workers_and_backend_are_mutually_exclusive(self):
         with pytest.raises(ValueError):
             run_paper(figures=["table2"], backend=SerialBackend(), workers=2)
+
+    def test_batched_submission_matches_per_figure_runs(self):
+        # Two metric figures through one run_paper call (one batched
+        # run_grids submission) must produce the same rows as running
+        # each figure alone — and as the direct figure function.
+        from repro.experiments import figures
+
+        overrides = {
+            "figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80),
+            "table2": dict(num_nodes=6, duration=120),
+        }
+        kwargs = dict(seeds="smoke", overrides=overrides)
+        combined = run_paper(figures=["figure4b", "table2"], backend=SerialBackend(), **kwargs)
+        alone_4b = run_paper(figures=["figure4b"], backend=SerialBackend(), **kwargs)
+        alone_t2 = run_paper(figures=["table2"], backend=SerialBackend(), **kwargs)
+        assert combined["figure4b"] == alone_4b["figure4b"]
+        assert combined["table2"] == alone_t2["table2"]
+        direct = figures.figure4b(
+            seeds=preset_seeds("smoke", family="linear"),
+            backend=SerialBackend(),
+            **overrides["figure4b"],
+        )
+        assert combined["figure4b"] == direct
+
+    def test_out_dir_persists_a_loadable_run(self, tmp_path):
+        results = run_paper(
+            figures=["table2"],
+            seeds="smoke",
+            backend=SerialBackend(),
+            overrides={"table2": dict(num_nodes=6, duration=120)},
+            out_dir=tmp_path / "run",
+        )
+        stored = load_run(tmp_path / "run")
+        assert stored.rows == results
+        assert stored.manifest["figures"] == ["table2"]
+        assert stored.metadata["backend"] == "serial"
+        assert stored.metadata["seeds_arg"] == "smoke"
+        assert stored.metadata["seeds"]["random"] == [1]
+        assert stored.metadata["figure_params"]["table2"]["num_nodes"] == 6
+
+
+class TestRunPaperTraceFigures:
+    #: The stable row schema of each serial trace figure's adapter.
+    EXPECTED_KEYS = {
+        "figure3c": {"protocol", "time", "attempts"},
+        "figure5": {"variant", "series", "time", "rate_pps"},
+        "figure7": {"feedback", "feedback_rate_pps", "energy_mJ", "queue_drops", "acks", "delivered_fraction"},
+        "figure8": {"series", "time", "value"},
+    }
+
+    def test_trace_figures_run_under_run_paper_with_stable_schemas(self):
+        results = run_paper(
+            figures=list(self.EXPECTED_KEYS),
+            seeds="smoke",
+            backend=SerialBackend(),
+        )
+        assert list(results) == list(self.EXPECTED_KEYS)
+        for name, rows in results.items():
+            assert rows, f"{name} produced no rows"
+            for row in rows:
+                assert set(row) == self.EXPECTED_KEYS[name], name
+
+    def test_trace_rows_are_json_scalars(self):
+        # The results store persists every figure; trace rows must hold
+        # flat scalars only (no tuples, objects or nested containers).
+        results = run_paper(figures=["figure3c"], seeds="smoke", backend=SerialBackend())
+        for row in results["figure3c"]:
+            for value in row.values():
+                assert isinstance(value, (int, float, str, type(None)))

@@ -33,6 +33,25 @@ def test_kind_filter():
     assert len(trace.events("a", node=2)) == 1
 
 
+def test_field_filter_none_matches_only_explicit_none():
+    """Regression test: a ``field=None`` filter used to match every event
+    *lacking* the field (``e.get(key) == None``); absent fields must
+    never match."""
+    trace = TraceRecorder(enabled=True)
+    trace.record("k", 0.0, node=None)
+    trace.record("k", 1.0)  # no 'node' field at all
+    trace.record("k", 2.0, node=3)
+    assert [e.time for e in trace.events("k", node=None)] == [0.0]
+    assert [e.time for e in trace.events("k", node=3)] == [2.0]
+
+
+def test_field_filter_excludes_events_lacking_the_field():
+    trace = TraceRecorder(enabled=True)
+    trace.record("k", 0.0, other=1)
+    assert trace.events("k", node=None) == []
+    assert trace.events("k", node=1) == []
+
+
 def test_kinds_whitelist():
     trace = TraceRecorder(enabled=True, kinds={"keep"})
     trace.record("keep", 1.0)
