@@ -35,6 +35,13 @@ repository root; the benchmarks are additive.  Environment knobs:
     pair per driver, loadable with
     :func:`repro.experiments.results.load_run` and renderable with
     ``python -m repro.experiments $REPRO_RUN_DIR``.
+``REPRO_PLOTS_DIR``
+    When set, each persisted or returned row list that has a registered
+    :class:`~repro.plots.spec.PlotSpec` is additionally rendered to
+    ``$REPRO_PLOTS_DIR/<figure>.png`` through :mod:`repro.plots`
+    (matplotlib when the ``[plots]`` extra is installed, the stdlib
+    fallback renderer otherwise).  Experiments without a spec — the
+    ablations — are skipped silently.
 """
 
 from __future__ import annotations
@@ -84,6 +91,12 @@ def bench_run_dir() -> Optional[Path]:
     return Path(value) if value else None
 
 
+def bench_plots_dir() -> Optional[Path]:
+    """Directory for rendered bench figures (``REPRO_PLOTS_DIR``), or ``None``."""
+    value = os.environ.get("REPRO_PLOTS_DIR", "").strip()
+    return Path(value) if value else None
+
+
 def run_once(benchmark, experiment: Callable, *args, **kwargs):
     """Run ``experiment`` exactly once under pytest-benchmark timing.
 
@@ -94,12 +107,26 @@ def run_once(benchmark, experiment: Callable, *args, **kwargs):
     With ``REPRO_RUN_DIR`` set, a row-list result (every metric figure
     and ``*_rows`` trace adapter) is also persisted into that run
     directory under the experiment's name; series-shaped results are
-    left to the driver to rowify first.
+    left to the driver to rowify first.  With ``REPRO_PLOTS_DIR`` set,
+    row lists whose experiment has a registered PlotSpec are rendered
+    to ``<figure>.png`` there as well.
     """
     result = benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    name = getattr(experiment, "__name__", "experiment")
     run_dir = bench_run_dir()
     if run_dir is not None and _looks_like_rows(result):
-        save_rows(run_dir, getattr(experiment, "__name__", "experiment"), result)
+        save_rows(run_dir, name, result)
+    plots_dir = bench_plots_dir()
+    if plots_dir is not None and _looks_like_rows(result):
+        from repro.experiments.figures import PLOT_SPECS
+        from repro.plots import render_figure
+
+        # Trace drivers persist under their adapter name (figure5_rows);
+        # the plot spec registry keys on the bare figure name.
+        figure_name = name[:-5] if name.endswith("_rows") else name
+        spec = PLOT_SPECS.get(figure_name)
+        if spec is not None:
+            render_figure(result, spec, plots_dir / f"{figure_name}.png")
     return result
 
 

@@ -17,11 +17,13 @@ count.
 (:mod:`repro.experiments.results`): ``DIR`` becomes a run directory with
 ``figure9.json``/``figure9.csv`` plus a manifest recording the seeds,
 backend and git provenance — reload it with ``load_run(DIR)`` or render
-it with ``python -m repro.experiments DIR``.
+it with ``python -m repro.experiments DIR``.  Adding ``--plots`` also
+renders the run to ``DIR/plots/figure9.png`` through :mod:`repro.plots`
+(matplotlib if installed, the stdlib fallback otherwise).
 
 Run with::
 
-    python examples/protocol_shootout.py [--workers N] [--backend NAME] [--seeds N | --paper] [--out DIR]
+    python examples/protocol_shootout.py [--workers N] [--backend NAME] [--seeds N | --paper] [--out DIR [--plots]]
 """
 
 import argparse
@@ -46,7 +48,11 @@ def main() -> None:
                         help=f"use the paper's replication count ({PAPER_LINEAR} seeds per cell)")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="persist the rows into run directory DIR via the results store")
+    parser.add_argument("--plots", action="store_true",
+                        help="with --out: also render the run to DIR/plots/figure9.png")
     args = parser.parse_args()
+    if args.plots and not args.out:
+        parser.error("--plots needs --out DIR (the plots render from the persisted run)")
 
     if args.paper:
         seeds = preset_seeds("paper", family="linear")
@@ -83,6 +89,11 @@ def main() -> None:
             },
         )
         print(f"rows persisted to {run_dir} (render with: python -m repro.experiments {run_dir})")
+        if args.plots:
+            from repro.plots import render_run
+
+            for name, path in render_run(run_dir).items():
+                print(f"{name} rendered to {path}")
         print()
     print(format_table(
         rows,

@@ -28,8 +28,14 @@
   directories with per-figure JSON/CSV rows plus a manifest recording
   seeds, preset, backend and git provenance;
 * :mod:`repro.experiments.report` — plain-text table rendering, for
-  live rows and stored runs (``python -m repro.experiments
-  <run_dir>``).
+  live rows and stored runs (``python -m repro.experiments <run_dir>``;
+  ``--list-figures`` prints the figure index).
+
+Image rendering lives in the sibling :mod:`repro.plots` package: every
+figure carries a declarative :class:`~repro.plots.spec.PlotSpec`
+(``figures.PLOT_SPECS``), and ``python -m repro.plots <run_dir>``
+turns a stored run directory into one PNG per figure — or, with
+``--compare``, into overlay/delta regression plots of two runs.
 
 Usage::
 
@@ -39,6 +45,11 @@ Usage::
     all_rows = run_paper(seeds="paper", out_dir="runs/paper")  # full run, persisted
     smoke = run_paper(seeds="smoke", workers=2)    # the CI smoke run
     stored = load_run("runs/paper").rows           # rows back, no re-simulation
+
+    # Paper-scale runs can report per-figure completion while the
+    # batched pool submission is in flight:
+    run_paper(seeds="paper", progress=lambda fig, done, total:
+              print(f"{fig}: {done}/{total}"))
 
     # Figures take the same workers=/backend= knobs individually:
     rows = figures.figure9(workers=4)              # shared 4-worker pool

@@ -8,9 +8,11 @@ execution strategy into a first-class object:
 
 * :class:`ExecutorBackend` — the abstract strategy.  A backend maps a
   picklable function over a list of items, **in order**, and owns
-  whatever worker resources that takes.  Backends are context managers
-  and are safe to close more than once; a closed backend restarts
-  lazily on its next use.
+  whatever worker resources that takes.  :meth:`ExecutorBackend.map`
+  returns the whole batch; :meth:`ExecutorBackend.imap` streams the
+  same results incrementally (still in item order) for progress
+  reporting.  Backends are context managers and are safe to close more
+  than once; a closed backend restarts lazily on its next use.
 * :class:`SerialBackend` — runs everything in the calling process, no
   pool at all.  Byte-for-byte the historical ``workers=1`` semantics
   that the reproducibility tests pin.
@@ -64,7 +66,7 @@ import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ExecutorBackend",
@@ -122,6 +124,22 @@ class ExecutorBackend(ABC):
     def map(self, fn: Callable, items: Iterable) -> List:
         """Apply ``fn`` to every item and return the results in order."""
 
+    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+        """Yield ``fn(item)`` results **in item order** as they complete.
+
+        The streaming counterpart of :meth:`map`, consumed by the
+        harness's per-cell progress reporting
+        (:meth:`~repro.experiments.parallel.ParallelRunner.run_grids`
+        with a ``progress=`` callback).  The ordering contract is the
+        same as :meth:`map`'s; only the delivery is incremental, so a
+        caller can observe completion counts while the batch runs.
+
+        Backends without incremental delivery may materialise the whole
+        batch first — this default does exactly that — because
+        bit-identity of the final aggregates never depends on streaming.
+        """
+        return iter(self.map(fn, items))
+
     def close(self) -> None:
         """Release worker resources (idempotent; lazily restarts on reuse)."""
 
@@ -155,6 +173,10 @@ class SerialBackend(ExecutorBackend):
 
     def map(self, fn: Callable, items: Iterable) -> List:
         return [fn(item) for item in items]
+
+    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+        """True streaming: each task runs when its result is consumed."""
+        return (fn(item) for item in items)
 
 
 def _positive_workers(workers: Optional[int]) -> int:
@@ -231,6 +253,14 @@ class _PooledBackend(ExecutorBackend):
             return []
         return list(self._ensure_pool().map(fn, items))
 
+    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+        """Stream results in submission order as workers complete them."""
+        items = list(items)
+        if not items:
+            return iter(())
+        # Executor.map already yields lazily and in order.
+        return iter(self._ensure_pool().map(fn, items))
+
 
 class ProcessBackend(_PooledBackend):
     """A persistent, lazily-started process pool reused across calls.
@@ -296,6 +326,38 @@ class ProcessBackend(_PooledBackend):
                 self.close()
                 raise
 
+    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+        """Stream in order, with :meth:`map`'s recovery semantics.
+
+        Unpicklable payloads fall back to the one-shot forked pool
+        (delivered as one batch — fork children cannot stream).  A pool
+        broken mid-stream is discarded and the whole batch re-run via
+        :meth:`map`; tasks are pure and seed-determined, so the re-run
+        is bit-identical and only the not-yet-yielded tail is delivered.
+        """
+        items = list(items)
+
+        def generate() -> Iterator:
+            if not items:
+                return
+            try:
+                pickle.dumps((fn, items))
+            except Exception:
+                yield from self._map_inherited(fn, items)
+                return
+            yielded = 0
+            try:
+                # The for covers breakage at submission time (a worker
+                # died while the pool sat idle) and mid-stream alike.
+                for result in self._ensure_pool().map(fn, items):
+                    yield result
+                    yielded += 1
+            except BrokenProcessPool:
+                self.close()
+                yield from self.map(fn, items)[yielded:]
+
+        return generate()
+
     def _map_inherited(self, fn: Callable, items: List) -> List:
         """One-shot forked pool for unpicklable payloads (no pool reuse)."""
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -347,9 +409,13 @@ class AsyncBackend(ExecutorBackend):
     naming the remote scheduler plus a parallelism hint) and the class
     participates fully in the backend protocol — construction, context
     management and :meth:`close` all work — but :meth:`map` raises
-    :class:`NotImplementedError` until a scheduler exists.  Tests assert
-    this exact behaviour so the API cannot drift before the
-    implementation lands.
+    :class:`NotImplementedError` until a scheduler exists (and with it
+    the inherited :meth:`~ExecutorBackend.imap`, which delegates to
+    :meth:`map`).  Tests assert this exact behaviour so the API cannot
+    drift before the implementation lands.  Do **not** pass an
+    ``AsyncBackend`` to ``run_paper``/figure calls expecting execution;
+    it exists so configuration plumbing can be built and tested ahead
+    of the scheduler.
     """
 
     name = "async"

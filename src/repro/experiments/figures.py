@@ -36,6 +36,14 @@ figures uniformly.  ``repro.experiments.presets`` names the paper-scale
 seed counts and drives every figure — metric and trace — through
 :func:`~repro.experiments.presets.run_paper`.
 
+Every figure additionally registers a declarative
+:class:`~repro.plots.spec.PlotSpec` in :data:`PLOT_SPECS` (metric plans
+carry theirs on :attr:`FigurePlan.plot`): axes columns, series
+grouping, 95%-CI error-bar columns and log scales.  The generic
+renderer in :mod:`repro.plots` consumes those specs to turn any stored
+run directory into figure images (``python -m repro.plots <run_dir>``)
+without per-figure drawing code.
+
 The mapping to the paper:
 
 =============  =====================================================================
@@ -64,6 +72,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
 from repro.experiments.backends import ExecutorBackend
 from repro.experiments.parallel import ParallelRunner, ScenarioRecord, ScenarioSpec
+from repro.plots.spec import AxesSpec, PlotSpec
 from repro.experiments.runner import confidence_interval
 from repro.experiments.scenarios import (
     LOSSY_LINK_QUALITY,
@@ -98,11 +107,20 @@ class FigurePlan:
     Every ``figureN_plan()`` builder takes the figure function's
     simulation parameters (everything except ``seeds``/``workers``/
     ``backend``, which belong to execution, not to the figure).
+
+    ``plot`` is the figure's declarative rendering description
+    (:class:`~repro.plots.spec.PlotSpec`): which row columns form the
+    axes, how rows group into series, where the error bars and log
+    scales are.  Plan builders attach the registered spec from
+    :data:`PLOT_SPECS`, which is what lets ``python -m repro.plots``
+    turn a stored run directory into figure images without any
+    figure-specific drawing code.
     """
 
     name: str
     specs: Tuple[ScenarioSpec, ...]
     aggregate: Callable[[Sequence[Sequence[ScenarioRecord]]], List[Row]]
+    plot: Optional[PlotSpec] = None
 
     def run(
         self,
@@ -113,6 +131,161 @@ class FigurePlan:
         """Execute the plan's grid on one backend and aggregate the rows."""
         groups = ParallelRunner(workers, backend).run_grid(list(self.specs), list(seeds))
         return self.aggregate(groups)
+
+
+# ---------------------------------------------------------------------------
+# Plot specs — how each figure's rows become an image
+# ---------------------------------------------------------------------------
+#
+# One declarative PlotSpec per figure of the paper, consumed by the
+# generic renderer in repro.plots (`python -m repro.plots <run_dir>`).
+# The specs name only columns their figure's rows actually carry —
+# tests/test_plots.py pins that against live rows — and mirror the
+# paper's presentation: CI error bars where the rows store `*_ci`
+# columns, log axes where the paper uses them (cache sizes, node
+# speeds), bars for the per-node / per-protocol breakdowns.
+
+PLOT_SPECS: Dict[str, PlotSpec] = {
+    "figure3": PlotSpec(
+        figure="figure3",
+        x="netSize",
+        xlabel="network size [nodes]",
+        series=("protocol",),
+        axes=(
+            AxesSpec(y="total_energy_J", yerr="total_energy_ci", ylabel="total energy [J]"),
+            AxesSpec(y="data_delivered_kB", yerr="data_delivered_ci", ylabel="data delivered [kB]"),
+        ),
+        title="Figure 3 - adjustable reliability: energy and delivered data",
+    ),
+    "figure3c": PlotSpec(
+        figure="figure3c",
+        x="time",
+        xlabel="time [s]",
+        series=("protocol",),
+        axes=(AxesSpec(y="attempts", ylabel="attempt bound"),),
+        title="Figure 3(c) - iJTP per-packet attempt bound at the third node",
+    ),
+    "figure4": PlotSpec(
+        figure="figure4",
+        x="netSize",
+        xlabel="network size [nodes]",
+        series=("protocol",),
+        axes=(
+            AxesSpec(y="energy_per_bit_uJ", yerr="energy_per_bit_ci", ylabel="energy per bit [uJ]"),
+            AxesSpec(y="source_rtx", ylabel="source retransmissions"),
+        ),
+        title="Figure 4(a) - caching gain: JTP vs JNC",
+    ),
+    "figure4b": PlotSpec(
+        figure="figure4b",
+        x="node",
+        xlabel="node index",
+        series=("protocol",),
+        axes=(AxesSpec(y="energy_J", ylabel="energy [J]", kind="bar"),),
+        title="Figure 4(b) - per-node energy, 7-node chain",
+    ),
+    "figure5": PlotSpec(
+        figure="figure5",
+        x="time",
+        xlabel="time [s]",
+        series=("variant", "series"),
+        axes=(AxesSpec(y="rate_pps", ylabel="reception rate [pkt/s]"),),
+        title="Figure 5 - competing flows with source back-off on/off",
+    ),
+    "figure6": PlotSpec(
+        figure="figure6",
+        x="cache_size",
+        xlabel="cache size [pkts]",
+        series=("netSize",),
+        logx=True,
+        axes=(
+            AxesSpec(y="source_rtx", ylabel="source retransmissions"),
+            AxesSpec(y="cache_recoveries", ylabel="cache recoveries"),
+        ),
+        title="Figure 6 - effect of in-network cache size",
+    ),
+    "figure7": PlotSpec(
+        figure="figure7",
+        x="feedback",
+        xlabel="feedback mode",
+        axes=(
+            AxesSpec(y="energy_mJ", ylabel="energy [mJ]", kind="bar"),
+            AxesSpec(y="queue_drops", ylabel="queue drops", kind="bar"),
+        ),
+        title="Figure 7 - constant vs variable feedback rate",
+    ),
+    "figure8": PlotSpec(
+        figure="figure8",
+        x="time",
+        xlabel="time [s]",
+        series=("series",),
+        # The flow2_interval row is a (start, end) annotation, not a
+        # series; plotting it as a curve would draw a meaningless point.
+        exclude=("flow2_interval",),
+        axes=(AxesSpec(y="value", ylabel="rate [pkt/s] / monitor level"),),
+        title="Figure 8 - rate adaptation of two competing JTP flows",
+    ),
+    "figure9": PlotSpec(
+        figure="figure9",
+        x="netSize",
+        xlabel="network size [nodes]",
+        series=("protocol",),
+        axes=(
+            AxesSpec(y="energy_per_bit_uJ", yerr="energy_per_bit_ci", ylabel="energy per bit [uJ]"),
+            AxesSpec(y="goodput_kbps", yerr="goodput_ci", ylabel="goodput [kbit/s]"),
+        ),
+        title="Figure 9 - JTP vs ATP vs TCP, linear topologies",
+    ),
+    "figure10": PlotSpec(
+        figure="figure10",
+        x="netSize",
+        xlabel="network size [nodes]",
+        series=("protocol",),
+        axes=(
+            AxesSpec(y="energy_per_bit_uJ", yerr="energy_per_bit_ci", ylabel="energy per bit [uJ]"),
+            AxesSpec(y="goodput_kbps", yerr="goodput_ci", ylabel="goodput [kbit/s]"),
+        ),
+        title="Figure 10 - JTP vs ATP vs TCP, static random topologies",
+    ),
+    "figure11": PlotSpec(
+        figure="figure11",
+        x="speed_mps",
+        xlabel="node speed [m/s]",
+        series=("protocol",),
+        logx=True,
+        axes=(
+            AxesSpec(y="energy_per_bit_uJ", ylabel="energy per bit [uJ]"),
+            AxesSpec(y="goodput_kbps", ylabel="goodput [kbit/s]"),
+            AxesSpec(y="source_rtx_per_kpkt", ylabel="source rtx / kpkt"),
+            AxesSpec(y="cache_hits_per_kpkt", ylabel="cache hits / kpkt"),
+        ),
+        title="Figure 11 - mobility: energy, goodput and recovery split",
+    ),
+    "table2": PlotSpec(
+        figure="table2",
+        x="protocol",
+        xlabel="protocol",
+        axes=(
+            AxesSpec(y="energy_per_bit_mJ", ylabel="energy per bit [mJ]", kind="bar"),
+            AxesSpec(y="goodput_kbps", ylabel="goodput [kbit/s]", kind="bar"),
+        ),
+        title="Table 2 - testbed-like comparison",
+    ),
+}
+
+
+def plot_spec(name: str) -> PlotSpec:
+    """The registered :class:`PlotSpec` for a figure name (KeyError-safe).
+
+    Raises :class:`ValueError` naming the known figures, so CLI callers
+    get an actionable message instead of a bare ``KeyError``.
+    """
+    try:
+        return PLOT_SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"no PlotSpec registered for {name!r}; known: {sorted(PLOT_SPECS)}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +331,7 @@ def figure3_plan(
             })
         return rows
 
-    return FigurePlan("figure3", specs, aggregate)
+    return FigurePlan("figure3", specs, aggregate, plot=PLOT_SPECS["figure3"])
 
 
 def figure3(
@@ -242,7 +415,7 @@ def figure4_plan(
             })
         return rows
 
-    return FigurePlan("figure4", specs, aggregate)
+    return FigurePlan("figure4", specs, aggregate, plot=PLOT_SPECS["figure4"])
 
 
 def figure4(
@@ -291,7 +464,7 @@ def figure4b_plan(
                 })
         return rows
 
-    return FigurePlan("figure4b", specs, aggregate)
+    return FigurePlan("figure4b", specs, aggregate, plot=PLOT_SPECS["figure4b"])
 
 
 def figure4b(
@@ -393,7 +566,7 @@ def figure6_plan(
             })
         return rows
 
-    return FigurePlan("figure6", specs, aggregate)
+    return FigurePlan("figure6", specs, aggregate, plot=PLOT_SPECS["figure6"])
 
 
 def figure6(
@@ -562,7 +735,7 @@ def figure9_plan(
         ))
         for size, name in cells
     )
-    return FigurePlan("figure9", specs, _comparison_aggregate(cells, "netSize"))
+    return FigurePlan("figure9", specs, _comparison_aggregate(cells, "netSize"), plot=PLOT_SPECS["figure9"])
 
 
 def figure9(
@@ -598,7 +771,7 @@ def figure10_plan(
         ))
         for size, name in cells
     )
-    return FigurePlan("figure10", specs, _comparison_aggregate(cells, "netSize"))
+    return FigurePlan("figure10", specs, _comparison_aggregate(cells, "netSize"), plot=PLOT_SPECS["figure10"])
 
 
 def figure10(
@@ -654,7 +827,7 @@ def figure11_plan(
             })
         return rows
 
-    return FigurePlan("figure11", specs, aggregate)
+    return FigurePlan("figure11", specs, aggregate, plot=PLOT_SPECS["figure11"])
 
 
 def figure11(
@@ -713,7 +886,7 @@ def table2_plan(
             })
         return rows
 
-    return FigurePlan("table2", specs, aggregate)
+    return FigurePlan("table2", specs, aggregate, plot=PLOT_SPECS["table2"])
 
 
 def table2(

@@ -34,7 +34,13 @@ bit-identical to a serial run:
   backend and worker count.  :meth:`ParallelRunner.run_grids` extends
   this to whole figure *sets*: several figures' grids go down as one
   interleaved task stream (no pool drain between figures) and come back
-  demultiplexed per grid, bit-identical to per-figure submission.
+  demultiplexed per grid, bit-identical to per-figure submission.  With
+  a ``progress=`` callback the same batch is consumed through the
+  backend's streaming
+  :meth:`~repro.experiments.backends.ExecutorBackend.imap`, reporting
+  per-cell completion (in submission order) while the pool works —
+  what :func:`~repro.experiments.presets.run_paper` surfaces as
+  per-figure percentages.
 * :func:`spawn_seeds` — deterministic per-replicate seed derivation via
   :meth:`~repro.sim.random.RandomStreams.spawn`, so "give me ten
   replications of base seed 7" names the same ten seeds everywhere.
@@ -219,19 +225,26 @@ class ParallelRunner:
         self,
         specs: Sequence[Callable[[int], ScenarioResult]],
         seeds: Sequence[int],
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> List[List[ScenarioRecord]]:
         """Run every spec × seed combination through one shared pool.
 
         Flattening the whole grid into a single task list keeps all
         workers busy even when individual cells have few seeds.  The
         result is aligned with ``specs``: one list of per-seed records
-        per spec, in seed order.
+        per spec, in seed order.  ``progress``, if given, is called as
+        ``progress(completed, total)`` after each cell finishes (see
+        :meth:`run_grids` for the delivery contract).
         """
-        return self.run_grids([(specs, seeds)])[0]
+        grid_progress = None
+        if progress is not None:
+            grid_progress = lambda _grid, done, total: progress(done, total)
+        return self.run_grids([(specs, seeds)], progress=grid_progress)[0]
 
     def run_grids(
         self,
         grids: Sequence[Tuple[Sequence[Callable[[int], ScenarioResult]], Sequence[int]]],
+        progress: Optional[Callable[[int, int, int], None]] = None,
     ) -> List[List[List[ScenarioRecord]]]:
         """Run several grids as **one** batched submission to the backend.
 
@@ -247,6 +260,19 @@ class ParallelRunner:
         bit-identical, because every task is fully determined by its
         ``(spec, seed)`` pair and records are matched back to their
         submission slot, never to a worker or a completion order.
+
+        ``progress``, if given, is called as ``progress(grid_index,
+        completed, total)`` once per finished cell, where ``completed``
+        counts that grid's finished cells and ``total`` is the grid's
+        cell count.  Events arrive in *submission* order (the
+        round-robin interleave), streamed through the backend's
+        :meth:`~repro.experiments.backends.ExecutorBackend.imap` — a
+        worker that races ahead is reported only when its submission
+        slot is reached, which keeps the event sequence deterministic.
+        The callback runs on the caller's thread; an exception it
+        raises aborts the run.  Passing ``progress=None`` uses the
+        non-streaming :meth:`~repro.experiments.backends.ExecutorBackend.map`
+        path — byte-for-byte the historical behaviour.
         """
         grids = list(grids)
         per_grid_tasks: List[List[Tuple[Callable[[int], ScenarioResult], int]]] = []
@@ -263,7 +289,17 @@ class ParallelRunner:
             for grid_index, tasks in enumerate(per_grid_tasks):
                 if task_index < len(tasks):
                     order.append((grid_index, task_index))
-        records = self.run_tasks([per_grid_tasks[g][i] for g, i in order])
+        tasks = [per_grid_tasks[g][i] for g, i in order]
+        if progress is None:
+            records = self.run_tasks(tasks)
+        else:
+            totals = [len(grid_tasks) for grid_tasks in per_grid_tasks]
+            completed = [0] * len(per_grid_tasks)
+            records = []
+            for (grid_index, _), record in zip(order, self.backend.imap(_run_task, tasks)):
+                records.append(record)
+                completed[grid_index] += 1
+                progress(grid_index, completed[grid_index], totals[grid_index])
         demuxed: List[List[Optional[ScenarioRecord]]] = [
             [None] * len(tasks) for tasks in per_grid_tasks
         ]

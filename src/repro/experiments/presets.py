@@ -115,6 +115,10 @@ class FigureJob:
     smoke_kwargs: Dict[str, object] = field(default_factory=dict)
     #: ``"metric"`` (batched grid) or ``"trace"`` (serial row adapter).
     kind: str = "metric"
+    #: One-line description of what the figure shows in the paper —
+    #: printed by ``python -m repro.experiments --list-figures`` and the
+    #: README's figure index (tests pin the two against this field).
+    description: str = ""
 
     def func(self) -> Callable[..., List[dict]]:
         from repro.experiments import figures
@@ -140,41 +144,49 @@ METRIC_FIGURES: Tuple[FigureJob, ...] = (
         "figure3",
         "linear",
         smoke_kwargs=dict(net_sizes=(3, 5), tolerances=(0.0, 0.10), transfer_bytes=40_000, duration=400),
+        description="Total energy and data delivered vs. net size for jtp0/jtp10/jtp20",
     ),
     FigureJob(
         "figure4",
         "linear",
         smoke_kwargs=dict(net_sizes=(3, 5), transfer_bytes=50_000, duration=500),
+        description="Energy per bit, JTP vs. JNC, vs. net size (linear topologies)",
     ),
     FigureJob(
         "figure4b",
         "linear",
         smoke_kwargs=dict(num_nodes=5, transfer_bytes=50_000, duration=500),
+        description="Per-node energy in a 7-node linear topology, JTP vs. JNC",
     ),
     FigureJob(
         "figure6",
         "linear",
         smoke_kwargs=dict(cache_sizes=(2, 10), net_sizes=(5,), transfer_bytes=50_000, duration=400),
+        description="Source retransmissions vs. in-network cache size for several net sizes",
     ),
     FigureJob(
         "figure9",
         "linear",
         smoke_kwargs=dict(net_sizes=(3, 5), transfer_bytes=60_000, duration=400),
+        description="Energy per bit and goodput vs. net size, JTP vs. ATP vs. TCP (linear)",
     ),
     FigureJob(
         "figure10",
         "random",
         smoke_kwargs=dict(net_sizes=(10,), num_flows=3, transfer_bytes=30_000, duration=400),
+        description="Energy per bit and goodput on static random topologies",
     ),
     FigureJob(
         "figure11",
         "random",
         smoke_kwargs=dict(speeds=(1.0,), num_nodes=10, num_flows=3, transfer_bytes=30_000, duration=400),
+        description="Energy per bit, goodput and recovery split under mobility",
     ),
     FigureJob(
         "table2",
         "random",
         smoke_kwargs=dict(num_nodes=8, duration=300),
+        description="Testbed-like comparison over stable links with a Poisson workload",
     ),
 )
 
@@ -187,12 +199,14 @@ TRACE_FIGURES: Tuple[FigureJob, ...] = (
         "figure3c",
         "linear",
         smoke_kwargs=dict(num_nodes=4, tolerances=(0.10, 0.20), transfer_bytes=40_000, duration=400),
+        description="Per-packet link-layer attempt bound over time at the third node",
         kind="trace",
     ),
     FigureJob(
         "figure5",
         "linear",
         smoke_kwargs=dict(num_nodes=5, duration=300, transfer_bytes=100_000),
+        description="Reception-rate time series of two competing flows, back-off on/off",
         kind="trace",
     ),
     FigureJob(
@@ -206,12 +220,14 @@ TRACE_FIGURES: Tuple[FigureJob, ...] = (
             short_transfer_bytes=15_000,
             num_short_flows=2,
         ),
+        description="Energy and queue drops vs. feedback rate, constant vs. variable",
         kind="trace",
     ),
     FigureJob(
         "figure8",
         "linear",
         smoke_kwargs=dict(num_nodes=4, duration=400, flow2_start=120.0, flow2_duration=120.0),
+        description="Rate adaptation of two competing JTP flows (flip-flop monitor)",
         kind="trace",
     ),
 )
@@ -240,6 +256,21 @@ ALL_FIGURES: Tuple[FigureJob, ...] = tuple(
 _JOBS_BY_NAME: Dict[str, FigureJob] = {job.name: job for job in ALL_FIGURES}
 
 
+def figure_index() -> List[Tuple[str, str, str]]:
+    """``(name, kind, description)`` for every figure, in paper order.
+
+    The single source for the figure listings: ``python -m
+    repro.experiments --list-figures`` prints it and the README's
+    paper-figure index must name every entry (pinned by the doc tests).
+    """
+    return [(job.name, job.kind, job.description) for job in ALL_FIGURES]
+
+
+#: Signature of the ``run_paper(progress=…)`` callback: called as
+#: ``progress(figure_name, completed_cells, total_cells)``.
+ProgressCallback = Callable[[str, int, int], None]
+
+
 def run_paper(
     figures: Optional[Sequence[str]] = None,
     backend: Optional[ExecutorBackend] = None,
@@ -248,6 +279,7 @@ def run_paper(
     base_seed: int = 0,
     overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
     out_dir: Optional[PathLike] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, List[dict]]:
     """Regenerate the paper's figures — one batched submission, one call.
 
@@ -270,6 +302,17 @@ def run_paper(
     figures are single-run by construction: their replication seed is a
     figure parameter (override via ``overrides``), not the ``seeds``
     preset.
+
+    ``progress`` streams per-cell completion: the callback is invoked
+    as ``progress(figure_name, completed, total)`` — once with
+    ``completed=0`` when a figure's work is announced, then once per
+    finished cell.  For metric figures ``total`` is the figure's
+    ``cells × seeds`` task count and completions arrive during the
+    batched submission (in submission order, so a paper-scale run
+    reports every figure's percentage while the pool is busy); each
+    trace figure is a single in-process job reported as ``0/1`` then
+    ``1/1``.  The callback runs on the calling thread and an exception
+    it raises aborts the run.
 
     Returns ``{figure name: rows}`` in paper order.  With ``out_dir``
     the same mapping is persisted as a run directory
@@ -307,14 +350,29 @@ def run_paper(
     ]
     rows_by_name: Dict[str, List[dict]] = {}
     if planned:
+        grid_progress = None
+        if progress is not None:
+            names = [job.name for job, _, _ in planned]
+            totals = [len(plan.specs) * len(seed_list) for _, plan, seed_list in planned]
+            for name, total in zip(names, totals):
+                progress(name, 0, total)
+
+            def grid_progress(grid_index: int, completed: int, total: int) -> None:
+                progress(names[grid_index], completed, total)
+
         grouped = ParallelRunner(backend=resolved).run_grids(
-            [(plan.specs, seed_list) for _, plan, seed_list in planned]
+            [(plan.specs, seed_list) for _, plan, seed_list in planned],
+            progress=grid_progress,
         )
         for (job, plan, _), groups in zip(planned, grouped):
             rows_by_name[job.name] = plan.aggregate(groups)
     for job in jobs:
         if job.kind == "trace":
+            if progress is not None:
+                progress(job.name, 0, 1)
             rows_by_name[job.name] = job.rows_func()(**job_kwargs(job))
+            if progress is not None:
+                progress(job.name, 1, 1)
 
     results = {job.name: rows_by_name[job.name] for job in jobs}
     if out_dir is not None:

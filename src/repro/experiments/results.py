@@ -37,7 +37,11 @@ whole run's persistence.
 :func:`load_run` returns a :class:`RunResults` whose ``rows`` mapping
 is directly consumable by :func:`repro.experiments.report.format_run`
 (``python -m repro.experiments <run_dir>`` renders a stored run
-as the paper-style tables without re-simulating anything).
+as the paper-style tables without re-simulating anything) and by the
+image pipeline (``python -m repro.plots <run_dir>`` renders one PNG
+per figure; ``--compare`` overlays two stored runs).  The on-disk
+layout and the full manifest schema are documented for external
+consumers in ``docs/results.md``.
 """
 
 from __future__ import annotations

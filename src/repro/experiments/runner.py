@@ -3,9 +3,10 @@
 The paper averages its linear-topology results over twenty independent
 runs (and its random-topology results over ten) and reports 95%
 confidence intervals.  :func:`replicate` runs a scenario builder over a
-list of seeds — serially with ``workers=1``, or fanned out over a
-process pool via :class:`~repro.experiments.parallel.ParallelRunner`
-otherwise — and :func:`average_metrics` / :func:`confidence_interval`
+list of seeds — serially with ``workers=0`` or ``1`` (the default),
+returning live results, or fanned out over a process pool via
+:class:`~repro.experiments.parallel.ParallelRunner` for any other
+worker count — and :func:`average_metrics` / :func:`confidence_interval`
 aggregate the resulting metric values.  The aggregation helpers accept
 both live :class:`~repro.experiments.scenarios.ScenarioResult` objects
 and the picklable :class:`~repro.experiments.parallel.ScenarioRecord`

@@ -1,0 +1,83 @@
+"""Figure rendering for stored experiment runs.
+
+``repro.plots`` is the last mile between the results store and the
+paper's Section 4 figures: it turns the run directories that
+``run_paper(out_dir=…)`` persists into one image per figure, and two
+run directories into overlay/delta regression plots —
+**re-simulating nothing**.
+
+* :class:`~repro.plots.spec.PlotSpec` / :class:`~repro.plots.spec.AxesSpec`
+  — the declarative description every figure carries (attached to its
+  :class:`~repro.experiments.figures.FigurePlan` and registered in
+  ``repro.experiments.figures.PLOT_SPECS``).
+* :func:`~repro.plots.render.render_figure` /
+  :func:`~repro.plots.render.render_run` — the generic engine: any
+  rows + spec → PNG, a whole run directory → one PNG per figure.
+* :func:`~repro.plots.compare.compare_runs` — run-to-run regression
+  images, gated on manifest compatibility
+  (:class:`~repro.plots.compare.RunMismatchError`, ``force=True`` to
+  override).
+* ``python -m repro.plots <run_dir>`` — the CLI
+  (:mod:`repro.plots.cli`).
+
+matplotlib is an *optional* dependency (``pip install -e '.[plots]'``,
+always driven through the Agg canvas); without it a pure-stdlib
+fallback renderer (:mod:`repro.plots.mini_png`) still produces valid
+PNGs, so the pipeline never needs a third-party package to function.
+
+This ``__init__`` re-exports lazily (PEP 562): the experiments package
+imports :mod:`repro.plots.spec` for the spec dataclasses, and an eager
+import of the render/compare machinery here would create an import
+cycle through ``repro.experiments.figures``.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.plots.spec import AxesSpec, PlotSpec
+
+if TYPE_CHECKING:  # pragma: no cover - static names for type checkers
+    from repro.plots.compare import RunMismatchError, compare_runs, manifest_mismatches
+    from repro.plots.render import (
+        active_backend,
+        matplotlib_available,
+        prepare_figure,
+        render_figure,
+        render_run,
+    )
+
+__all__ = [
+    "AxesSpec",
+    "PlotSpec",
+    "RunMismatchError",
+    "active_backend",
+    "compare_runs",
+    "manifest_mismatches",
+    "matplotlib_available",
+    "prepare_figure",
+    "render_figure",
+    "render_run",
+]
+
+_LAZY = {
+    "render_figure": "repro.plots.render",
+    "render_run": "repro.plots.render",
+    "prepare_figure": "repro.plots.render",
+    "active_backend": "repro.plots.render",
+    "matplotlib_available": "repro.plots.render",
+    "compare_runs": "repro.plots.compare",
+    "manifest_mismatches": "repro.plots.compare",
+    "RunMismatchError": "repro.plots.compare",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

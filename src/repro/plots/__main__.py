@@ -1,0 +1,11 @@
+"""``python -m repro.plots <run_dir>`` — render a stored run to images.
+
+A thin shim around :func:`repro.plots.cli.main`, mirroring
+``python -m repro.experiments`` (see that module's note on why the CLI
+body lives outside ``__main__``).
+"""
+
+from repro.plots.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,63 @@ class TestSerialBackend:
         with SerialBackend() as backend:
             assert backend.map(_square, [2]) == [4]
 
+    def test_imap_streams_lazily(self):
+        # The serial backend must not run task k+1 before the caller
+        # consumes result k — that is what makes per-cell progress
+        # reporting exact, not after-the-fact.
+        ran = []
+
+        def record(value):
+            ran.append(value)
+            return value * value
+
+        iterator = SerialBackend().imap(record, [1, 2, 3])
+        assert ran == []
+        assert next(iterator) == 1
+        assert ran == [1]
+        assert list(iterator) == [4, 9]
+        assert ran == [1, 2, 3]
+
+
+class TestImapOrdering:
+    def test_pooled_backends_stream_in_item_order(self):
+        with ProcessBackend(workers=2) as process, ThreadBackend(workers=2) as thread:
+            for backend in (SerialBackend(), process, thread):
+                assert list(backend.imap(_square, range(6))) == [v * v for v in range(6)]
+                assert list(backend.imap(_square, [])) == []
+
+    def test_imap_matches_map(self):
+        with ProcessBackend(workers=2) as backend:
+            assert list(backend.imap(_square, range(5))) == backend.map(_square, range(5))
+
+    def test_process_imap_falls_back_for_unpicklable_payloads(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        with ProcessBackend(workers=2) as backend:
+            doubler = lambda value: value * 2  # noqa: E731
+            assert list(backend.imap(doubler, [1, 2, 3])) == [2, 4, 6]
+
+    def test_process_imap_recovers_from_a_pool_broken_between_batches(self):
+        import signal
+
+        with ProcessBackend(workers=2) as backend:
+            assert backend.map(_square, [1]) == [1]
+            # A worker dies while the pool sits idle (the OOM-kill
+            # scenario).  Depending on timing the next submission
+            # raises BrokenProcessPool at submit or mid-stream; the
+            # streaming path must recover on a fresh pool either way
+            # and deliver the full, ordered batch.
+            os.kill(next(iter(backend.worker_pids())), signal.SIGKILL)
+            assert list(backend.imap(_square, range(4))) == [0, 1, 4, 9]
+            # The backend stays healthy for later batched calls too.
+            assert backend.map(_square, [5]) == [25]
+
+    def test_async_stub_imap_raises_like_map(self):
+        # The default imap materialises through map(), so the stub's
+        # NotImplementedError surfaces at the call itself.
+        with pytest.raises(NotImplementedError):
+            AsyncBackend(workers=2).imap(_square, [1])
+
 
 class TestProcessBackendLifecycle:
     def test_pool_starts_lazily_and_is_reused(self):

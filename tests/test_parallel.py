@@ -154,6 +154,62 @@ class TestRunGrids:
         assert ParallelRunner(workers=1).run_grids([]) == []
 
 
+class TestProgress:
+    GRID_A = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
+    GRID_B = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
+    GRIDS = [(GRID_A, [1, 2]), (GRID_B, [3])]
+
+    def test_progress_reports_every_cell_in_submission_order(self):
+        events = []
+        ParallelRunner(workers=1).run_grids(
+            self.GRIDS, progress=lambda grid, done, total: events.append((grid, done, total))
+        )
+        # Round-robin interleave: grid 0 and grid 1 alternate until the
+        # short grid runs dry, counts are per grid and totals fixed.
+        assert events == [(0, 1, 4), (1, 1, 1), (0, 2, 4), (0, 3, 4), (0, 4, 4)]
+
+    def test_progress_does_not_change_the_records(self):
+        runner = ParallelRunner(workers=1)
+        silent = runner.run_grids(self.GRIDS)
+        noisy = runner.run_grids(self.GRIDS, progress=lambda *args: None)
+        assert noisy == silent
+
+    def test_progress_streams_on_every_backend(self):
+        from repro.experiments.backends import ThreadBackend
+
+        reference = None
+        with ThreadBackend(workers=2) as thread_backend:
+            for runner in (
+                ParallelRunner(workers=1),
+                ParallelRunner(workers=2),
+                ParallelRunner(backend=thread_backend),
+            ):
+                events = []
+                batched = runner.run_grids(
+                    self.GRIDS, progress=lambda grid, done, total: events.append((grid, done, total))
+                )
+                # Identical event sequence (submission order, not
+                # completion order) and identical records everywhere.
+                assert events == [(0, 1, 4), (1, 1, 1), (0, 2, 4), (0, 3, 4), (0, 4, 4)]
+                if reference is None:
+                    reference = batched
+                assert batched == reference
+
+    def test_run_grid_progress_counts_cells(self):
+        events = []
+        ParallelRunner(workers=1).run_grid(
+            self.GRID_A, [1, 2], progress=lambda done, total: events.append((done, total))
+        )
+        assert events == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_progress_exception_aborts_the_run(self):
+        def explode(grid, done, total):
+            raise RuntimeError("stop")
+
+        with pytest.raises(RuntimeError, match="stop"):
+            ParallelRunner(workers=1).run_grids(self.GRIDS, progress=explode)
+
+
 class TestSweep:
     def test_sweep_rows_echo_grid_and_carry_cis(self):
         rows = ParallelRunner(workers=2).sweep(

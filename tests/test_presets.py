@@ -96,6 +96,19 @@ class TestMetricFigures:
                 assert name in wrapper, (job.name, name)
                 assert wrapper[name].default == param.default, (job.name, name)
 
+    def test_every_job_has_a_one_line_description(self):
+        # --list-figures and the README index both print this field.
+        for job in ALL_FIGURES:
+            assert job.description, job.name
+            assert "\n" not in job.description
+
+    def test_figure_index_mirrors_all_figures(self):
+        from repro.experiments.presets import figure_index
+
+        index = figure_index()
+        assert [name for name, _, _ in index] == [job.name for job in ALL_FIGURES]
+        assert all(kind in ("metric", "trace") for _, kind, _ in index)
+
     def test_all_figures_is_every_figure_in_paper_order(self):
         assert [job.name for job in ALL_FIGURES] == [
             "figure3",
@@ -188,6 +201,53 @@ class TestRunPaper:
         assert stored.metadata["seeds_arg"] == "smoke"
         assert stored.metadata["seeds"]["random"] == [1]
         assert stored.metadata["figure_params"]["table2"]["num_nodes"] == 6
+
+
+class TestRunPaperProgress:
+    OVERRIDES = {
+        "figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80),
+        "table2": dict(num_nodes=6, duration=120),
+        "figure3c": dict(num_nodes=4, transfer_bytes=8_000, duration=80),
+    }
+
+    def run(self, **kwargs):
+        events = []
+        results = run_paper(
+            figures=list(self.OVERRIDES),
+            seeds="smoke",
+            overrides=self.OVERRIDES,
+            progress=lambda name, done, total: events.append((name, done, total)),
+            **kwargs,
+        )
+        return results, events
+
+    def test_every_figure_announces_then_completes(self):
+        _, events = self.run(backend=SerialBackend())
+        # Metric figures: an announcement (0/total) then one event per
+        # cell; figure4b has 2 specs x 2 seeds, table2 3 specs x 1 seed.
+        assert events[:2] == [("figure4b", 0, 4), ("table2", 0, 3)]
+        for name, total in (("figure4b", 4), ("table2", 3)):
+            counts = [done for n, done, _ in events if n == name]
+            assert counts == list(range(total + 1))
+            assert all(t == total for n, _, t in events if n == name)
+        # Trace figures are one in-process job: announced, then done.
+        assert [e for e in events if e[0] == "figure3c"] == [("figure3c", 0, 1), ("figure3c", 1, 1)]
+
+    def test_progress_leaves_rows_bit_identical(self):
+        noisy, _ = self.run(backend=SerialBackend())
+        silent = run_paper(
+            figures=list(self.OVERRIDES),
+            seeds="smoke",
+            overrides=self.OVERRIDES,
+            backend=SerialBackend(),
+        )
+        assert noisy == silent
+
+    def test_progress_streams_from_the_process_pool_too(self):
+        results, events = self.run(workers=2)
+        serial, serial_events = self.run(backend=SerialBackend())
+        assert results == serial
+        assert events == serial_events  # submission order, not completion order
 
 
 class TestRunPaperTraceFigures:
