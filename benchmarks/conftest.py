@@ -42,6 +42,12 @@ repository root; the benchmarks are additive.  Environment knobs:
     (matplotlib when the ``[plots]`` extra is installed, the stdlib
     fallback renderer otherwise).  Experiments without a spec — the
     ablations — are skipped silently.
+``REPRO_PROFILE``
+    When set (non-empty, not ``0``), every driver run through
+    :func:`run_once` executes under the simulation-core profiler
+    (:mod:`repro.sim.profile`) and prints a uniform events/sec line
+    via :func:`events_per_sec_report`.  Expect roughly 2x wall-clock
+    while profiling; simulation results are unchanged.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ from typing import Callable, Optional, Tuple
 from repro.experiments.backends import workers_from_env
 from repro.experiments.presets import preset_seeds
 from repro.experiments.results import save_rows
+from repro.sim.profile import profile_from_env, profiled
 
 
 def bench_workers() -> Optional[int]:
@@ -97,6 +104,18 @@ def bench_plots_dir() -> Optional[Path]:
     return Path(value) if value else None
 
 
+def events_per_sec_report(name: str, events: int, seconds: float) -> float:
+    """Print one uniform events/sec line and return the rate.
+
+    Every bench driver that reports simulation-core throughput goes
+    through this helper so the lines are grep-able across drivers and
+    PRs (``<name>: <events> events in <s> s -> <rate> events/s``).
+    """
+    rate = events / seconds if seconds > 0 else 0.0
+    print(f"{name}: {events:,} events in {seconds:.3f} s -> {rate:,.0f} events/s")
+    return rate
+
+
 def run_once(benchmark, experiment: Callable, *args, **kwargs):
     """Run ``experiment`` exactly once under pytest-benchmark timing.
 
@@ -109,10 +128,20 @@ def run_once(benchmark, experiment: Callable, *args, **kwargs):
     directory under the experiment's name; series-shaped results are
     left to the driver to rowify first.  With ``REPRO_PLOTS_DIR`` set,
     row lists whose experiment has a registered PlotSpec are rendered
-    to ``<figure>.png`` there as well.
+    to ``<figure>.png`` there as well.  With ``REPRO_PROFILE`` set, the
+    simulation-core profiler runs for the experiment and every driver
+    prints the same events/sec line via :func:`events_per_sec_report`
+    (in-process simulations only — use ``REPRO_WORKERS=0`` for full
+    attribution).
     """
-    result = benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
     name = getattr(experiment, "__name__", "experiment")
+    if profile_from_env():
+        with profiled() as profiler:
+            result = benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if profiler.wall_s > 0:
+            events_per_sec_report(name, profiler.events, profiler.wall_s)
+    else:
+        result = benchmark.pedantic(experiment, args=args, kwargs=kwargs, rounds=1, iterations=1)
     run_dir = bench_run_dir()
     if run_dir is not None and _looks_like_rows(result):
         save_rows(run_dir, name, result)

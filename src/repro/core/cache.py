@@ -61,7 +61,10 @@ class PacketCache:
         elif len(self._entries) >= self.capacity:
             self._evict_one()
         self._entries[key] = packet
-        self._flow_index.setdefault(key[0], set()).add(key[1])
+        index = self._flow_index.get(key[0])
+        if index is None:
+            index = self._flow_index[key[0]] = set()
+        index.add(key[1])
         self.insertions += 1
 
     def _evict_one(self) -> None:

@@ -36,12 +36,7 @@ from typing import Callable, Optional
 from repro.core.cache import PacketCache
 from repro.core.config import JTPConfig
 from repro.core.packet import AckInfo, Packet
-from repro.core.reliability import (
-    achieved_link_success,
-    attempts_for_target,
-    per_link_success_target,
-    updated_loss_tolerance,
-)
+from repro.core.reliability import plan_link_attempts
 from repro.mac.tdma import LinkContext, TdmaMac
 from repro.sim.stats import NetworkStats
 from repro.sim.trace import TraceRecorder
@@ -125,16 +120,17 @@ class IntermediateJTP:
             remaining_hops = context.remaining_hops
             if remaining_hops is None or remaining_hops < 1:
                 remaining_hops = 1
-            target = per_link_success_target(packet.loss_tolerance, remaining_hops)
-            attempts = attempts_for_target(target, context.loss_rate, self.config.max_attempts)
-            packet.max_link_attempts = attempts
-            link_success = achieved_link_success(context.loss_rate, attempts)
-            packet.loss_tolerance = updated_loss_tolerance(packet.loss_tolerance, link_success)
-            self.trace.record(
-                "ijtp_attempts", context.now, node=self.node_id, flow=packet.flow_id,
-                seq=packet.seq, attempts=attempts, loss_rate=context.loss_rate,
-                remaining_hops=remaining_hops,
+            attempts, packet.loss_tolerance = plan_link_attempts(
+                packet.loss_tolerance, context.loss_rate, remaining_hops,
+                self.config.max_attempts,
             )
+            packet.max_link_attempts = attempts
+            if self.trace.enabled:
+                self.trace.record(
+                    "ijtp_attempts", context.now, node=self.node_id, flow=packet.flow_id,
+                    seq=packet.seq, attempts=attempts, loss_rate=context.loss_rate,
+                    remaining_hops=remaining_hops,
+                )
 
             # Lines 10-12: stamp the minimum effective available rate.
             effective_rate = context.available_rate_pps / max(1.0, context.average_attempts)

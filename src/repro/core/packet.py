@@ -106,16 +106,19 @@ class Packet:
 
     @property
     def size_bits(self) -> float:
-        """Total on-air size in bits (what the MAC charges energy for)."""
-        return bits_from_bytes(self.size_bytes)
+        """Total on-air size in bits (what the MAC charges energy for).
 
-    @property
-    def is_data(self) -> bool:
-        return self.packet_type is PacketType.DATA
+        Evaluates `bits_from_bytes(size_bytes)` without the extra
+        property hop — the MAC reads this on every transmission attempt.
+        """
+        return bits_from_bytes(self.payload_bytes + self.header_bytes)
 
-    @property
-    def is_ack(self) -> bool:
-        return self.packet_type is PacketType.ACK
+    def __post_init__(self) -> None:
+        # Plain attributes rather than properties: the MAC, iJTP and the
+        # caches branch on these for every packet event, and
+        # ``packet_type`` never changes after construction.
+        self.is_data = self.packet_type is PacketType.DATA
+        self.is_ack = self.packet_type is PacketType.ACK
 
     def remaining_energy_budget(self) -> float:
         """Energy budget left before iJTP must drop the packet (Alg. 1, line 2)."""

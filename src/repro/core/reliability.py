@@ -52,7 +52,10 @@ def attempts_for_target(success_target: float, link_loss: float, max_attempts: i
     * a loss-free link needs exactly one attempt,
     * a success target of 1 (zero loss tolerance) can never be met with
       finitely many attempts over a lossy link, so the cap applies,
-    * a success target of 0 needs one attempt (we always try once).
+    * a success target of 0 needs one attempt (we always try once),
+    * a certainly-lost link (``link_loss = 1``) can never meet a
+      positive target, so the cap applies (this used to divide by
+      ``log(1) = 0``); a zero target still needs only the one attempt.
     """
     require_probability(success_target, "success_target")
     require_probability(link_loss, "link_loss")
@@ -63,6 +66,8 @@ def attempts_for_target(success_target: float, link_loss: float, max_attempts: i
         return int(max_attempts)
     if success_target <= 0.0:
         return 1
+    if link_loss >= 1.0:
+        return int(max_attempts)
     raw = math.log(1.0 - success_target) / math.log(link_loss)
     attempts = int(math.ceil(raw - 1e-12))
     return max(1, min(attempts, int(max_attempts)))
@@ -98,6 +103,47 @@ def end_to_end_success_probability(link_successes: Sequence[float]) -> float:
         require_probability(q, "link success probability")
         product *= q
     return product
+
+
+def plan_link_attempts(
+    loss_tolerance: float,
+    link_loss: float,
+    remaining_hops: int,
+    max_attempts: int,
+) -> Tuple[int, float]:
+    """Eqs. (4), (2) and (3) fused for the per-packet hot path.
+
+    Returns ``(attempts, updated_loss_tolerance)`` — exactly the values
+    :func:`per_link_success_target` → :func:`attempts_for_target` →
+    :func:`achieved_link_success` → :func:`updated_loss_tolerance`
+    produce, evaluated with the identical floating-point expressions but
+    without the per-call argument validation: iJTP runs this once per
+    packet service, and its inputs are established protocol invariants
+    (tolerances clamped to [0, 1] by Eq. 3 itself, ``remaining_hops``
+    floored at 1 by the caller), not user input.  The validated
+    single-equation functions above remain the public API; the
+    property-based tests pin this function against them.
+    """
+    target = (1.0 - loss_tolerance) ** (1.0 / remaining_hops)
+    if link_loss <= 0.0:
+        attempts = 1
+    elif target >= 1.0:
+        attempts = int(max_attempts)
+    elif target <= 0.0:
+        attempts = 1
+    elif link_loss >= 1.0:
+        attempts = int(max_attempts)
+    else:
+        raw = math.log(1.0 - target) / math.log(link_loss)
+        attempts = int(math.ceil(raw - 1e-12))
+        attempts = max(1, min(attempts, int(max_attempts)))
+    link_success = 1.0 - link_loss ** attempts
+    if link_success <= 0.0:
+        updated = 0.0
+    else:
+        updated = 1.0 - (1.0 - loss_tolerance) / link_success
+        updated = min(1.0, max(0.0, updated))
+    return attempts, updated
 
 
 def plan_hop_attempts(

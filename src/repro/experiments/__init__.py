@@ -39,7 +39,7 @@ turns a stored run directory into one PNG per figure — or, with
 
 Usage::
 
-    from repro.experiments import ProcessBackend, figures, load_run, run_paper
+    from repro.experiments import ProcessBackend, ProgressBars, figures, load_run, run_paper
 
     # Everything below shares one persistent worker pool (the default):
     all_rows = run_paper(seeds="paper", out_dir="runs/paper")  # full run, persisted
@@ -47,9 +47,10 @@ Usage::
     stored = load_run("runs/paper").rows           # rows back, no re-simulation
 
     # Paper-scale runs can report per-figure completion while the
-    # batched pool submission is in flight:
-    run_paper(seeds="paper", progress=lambda fig, done, total:
-              print(f"{fig}: {done}/{total}"))
+    # batched pool submission is in flight; ProgressBars renders live
+    # stderr percentage bars (any callable with the same signature
+    # works):
+    run_paper(seeds="paper", progress=ProgressBars())
 
     # Figures take the same workers=/backend= knobs individually:
     rows = figures.figure9(workers=4)              # shared 4-worker pool
@@ -103,6 +104,7 @@ from repro.experiments.presets import (
     preset_seeds,
     run_paper,
 )
+from repro.experiments.progress import ProgressBars
 from repro.experiments.results import RunResults, load_run, save_run
 from repro.experiments.report import format_run, format_table
 from repro.experiments import figures
@@ -145,6 +147,7 @@ __all__ = [
     "SMOKE_RANDOM",
     "preset_seeds",
     "run_paper",
+    "ProgressBars",
     "RunResults",
     "load_run",
     "save_run",

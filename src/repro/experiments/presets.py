@@ -40,6 +40,8 @@ run directory behind as the job's artifact.
 
 from __future__ import annotations
 
+import sys
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -280,6 +282,7 @@ def run_paper(
     overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
     out_dir: Optional[PathLike] = None,
     progress: Optional[ProgressCallback] = None,
+    profile: Optional[bool] = None,
 ) -> Dict[str, List[dict]]:
     """Regenerate the paper's figures — one batched submission, one call.
 
@@ -314,11 +317,24 @@ def run_paper(
     ``1/1``.  The callback runs on the calling thread and an exception
     it raises aborts the run.
 
+    ``profile`` (default: the ``REPRO_PROFILE`` environment variable)
+    turns on the simulation-core profiler (:mod:`repro.sim.profile`)
+    for the whole run: aggregate events/sec, per-callback-class time
+    attribution and the event-heap high-water mark.  The report covers
+    the simulations executed *in this process* — all of them on the
+    serial backend, only the trace figures when a worker pool runs the
+    metric figures (profile with ``workers=0`` for complete attribution;
+    the unsynchronised counters also make the thread backend's
+    concurrent runs unreliable to profile) — and is stored under
+    ``core_profile`` (with ``out_dir``) or summarised to stderr
+    (without).  Expect roughly 2x wall-clock while profiling; results
+    are unaffected.
+
     Returns ``{figure name: rows}`` in paper order.  With ``out_dir``
     the same mapping is persisted as a run directory
     (:func:`~repro.experiments.results.save_run`) whose manifest records
-    the preset, resolved per-family seed lists, backend, base seed and
-    git provenance.
+    the preset, resolved per-family seed lists, backend, base seed, git
+    provenance and (when profiling) the core profile.
     """
     if figures is None:
         jobs = list(ALL_FIGURES)
@@ -332,6 +348,12 @@ def run_paper(
             raise ValueError(f"duplicate figure names in {list(figures)}")
         jobs = [_JOBS_BY_NAME[name] for name in figures]
     resolved = resolve_backend(workers=workers, backend=backend)
+
+    from repro.sim import profile as core_profile
+
+    if profile is None:
+        profile = core_profile.profile_from_env()
+    profiler = core_profile.CoreProfiler() if profile else None
 
     def job_kwargs(job: FigureJob) -> Dict[str, object]:
         kwargs: Dict[str, object] = {}
@@ -349,30 +371,32 @@ def run_paper(
         if job.kind == "metric"
     ]
     rows_by_name: Dict[str, List[dict]] = {}
-    if planned:
-        grid_progress = None
-        if progress is not None:
-            names = [job.name for job, _, _ in planned]
-            totals = [len(plan.specs) * len(seed_list) for _, plan, seed_list in planned]
-            for name, total in zip(names, totals):
-                progress(name, 0, total)
-
-            def grid_progress(grid_index: int, completed: int, total: int) -> None:
-                progress(names[grid_index], completed, total)
-
-        grouped = ParallelRunner(backend=resolved).run_grids(
-            [(plan.specs, seed_list) for _, plan, seed_list in planned],
-            progress=grid_progress,
-        )
-        for (job, plan, _), groups in zip(planned, grouped):
-            rows_by_name[job.name] = plan.aggregate(groups)
-    for job in jobs:
-        if job.kind == "trace":
+    profile_context = nullcontext() if profiler is None else core_profile.profiled(profiler)
+    with profile_context:
+        if planned:
+            grid_progress = None
             if progress is not None:
-                progress(job.name, 0, 1)
-            rows_by_name[job.name] = job.rows_func()(**job_kwargs(job))
-            if progress is not None:
-                progress(job.name, 1, 1)
+                names = [job.name for job, _, _ in planned]
+                totals = [len(plan.specs) * len(seed_list) for _, plan, seed_list in planned]
+                for name, total in zip(names, totals):
+                    progress(name, 0, total)
+
+                def grid_progress(grid_index: int, completed: int, total: int) -> None:
+                    progress(names[grid_index], completed, total)
+
+            grouped = ParallelRunner(backend=resolved).run_grids(
+                [(plan.specs, seed_list) for _, plan, seed_list in planned],
+                progress=grid_progress,
+            )
+            for (job, plan, _), groups in zip(planned, grouped):
+                rows_by_name[job.name] = plan.aggregate(groups)
+        for job in jobs:
+            if job.kind == "trace":
+                if progress is not None:
+                    progress(job.name, 0, 1)
+                rows_by_name[job.name] = job.rows_func()(**job_kwargs(job))
+                if progress is not None:
+                    progress(job.name, 1, 1)
 
     results = {job.name: rows_by_name[job.name] for job in jobs}
     if out_dir is not None:
@@ -392,5 +416,9 @@ def run_paper(
             "figure_params": {job.name: job_kwargs(job) for job in jobs},
             "git": git_metadata(),
         }
+        if profiler is not None:
+            metadata["core_profile"] = profiler.report(top=20)
         save_run(results, out_dir, metadata)
+    elif profiler is not None:
+        print(profiler.summary(), file=sys.stderr)
     return results

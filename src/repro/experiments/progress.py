@@ -1,0 +1,103 @@
+"""Terminal front-end for ``run_paper(progress=...)``.
+
+:class:`ProgressBars` is a callable matching the
+:data:`~repro.experiments.presets.ProgressCallback` signature
+(``callback(figure, done, total)``) that renders one percentage bar per
+figure on stderr, with no dependencies beyond the standard library::
+
+    from repro.experiments.presets import run_paper
+    from repro.experiments.progress import ProgressBars
+
+    run_paper(seeds="paper", progress=ProgressBars())
+
+Two rendering modes, picked automatically:
+
+* **TTY** — a live multi-line block (one bar per announced figure)
+  redrawn in place with ANSI cursor movement.  Redraws are throttled to
+  whole-percent changes so a paper-scale run with thousands of cells
+  costs a handful of redraws per figure.
+* **plain** (pipes, CI logs) — one line per whole-percent milestone per
+  figure, append-only, so logs stay grep-able and bounded.
+
+The callback runs on the caller's thread (the ``run_paper`` contract),
+so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO, Tuple
+
+__all__ = ["ProgressBars"]
+
+
+class ProgressBars:
+    """Render per-figure completion bars for a paper run.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    width:
+        Bar width in characters.
+    tty:
+        Force TTY (multi-line redraw) or plain (append-only) mode;
+        default autodetects via ``stream.isatty()``.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, width: int = 28, tty: Optional[bool] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = max(4, int(width))
+        if tty is None:
+            isatty = getattr(self.stream, "isatty", None)
+            tty = bool(isatty()) if callable(isatty) else False
+        self.tty = tty
+        #: figure -> (done, total), in announcement order.
+        self._state: Dict[str, Tuple[int, int]] = {}
+        self._rendered_lines = 0
+        #: figure -> last whole percent emitted (throttle).
+        self._last_percent: Dict[str, int] = {}
+
+    # -- the ProgressCallback interface -------------------------------------------
+
+    def __call__(self, figure: str, done: int, total: int) -> None:
+        """Record one progress event and re-render if it is visible."""
+        total = max(total, 1)
+        done = min(done, total)
+        self._state[figure] = (done, total)
+        percent = (100 * done) // total
+        if self._last_percent.get(figure) == percent and done != total:
+            return
+        changed = self._last_percent.get(figure) != percent
+        self._last_percent[figure] = percent
+        if not changed:
+            return
+        if self.tty:
+            self._render_block()
+        else:
+            self._render_line(figure, done, total, percent)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def _bar(self, done: int, total: int) -> str:
+        filled = (self.width * done) // total
+        return "#" * filled + "." * (self.width - filled)
+
+    def _render_line(self, figure: str, done: int, total: int, percent: int) -> None:
+        self.stream.write(f"{figure:<10} [{self._bar(done, total)}] {percent:3d}% ({done}/{total})\n")
+        self.stream.flush()
+
+    def _render_block(self) -> None:
+        stream = self.stream
+        if self._rendered_lines:
+            # Move back up over the previous block and redraw in place.
+            stream.write(f"\x1b[{self._rendered_lines}F")
+        lines = []
+        for figure, (done, total) in self._state.items():
+            percent = (100 * done) // total
+            lines.append(
+                f"{figure:<10} [{self._bar(done, total)}] {percent:3d}% ({done}/{total})\x1b[K"
+            )
+        stream.write("\n".join(lines) + "\n")
+        stream.flush()
+        self._rendered_lines = len(lines)

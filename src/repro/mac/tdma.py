@@ -30,6 +30,7 @@ paper's Algorithms 1 and 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mac.arq import ArqPolicy
@@ -66,16 +67,27 @@ class MacConfig:
         require_positive(self.reference_packet_bytes, "reference_packet_bytes")
         require_positive(self.estimator_window, "estimator_window")
 
-    @property
+    @cached_property
     def nominal_rate_pps(self) -> float:
-        """Maximum packets per second this node can emit given its slot share."""
+        """Maximum packets per second this node can emit given its slot share.
+
+        Cached: the config is frozen and this is read on every MAC
+        service decision (``cached_property`` writes straight into the
+        instance ``__dict__``, which the frozen dataclass permits).
+        """
         airtime = self.energy.airtime(bits_from_bytes(self.reference_packet_bytes))
         return self.slot_share / (airtime + self.guard_time)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LinkContext:
-    """Snapshot of link state handed to pre-transmit hooks (iJTP PreXmit)."""
+    """Snapshot of link state handed to pre-transmit hooks (iJTP PreXmit).
+
+    Built once per packet service; hooks must treat it as read-only.
+    (A frozen dataclass would enforce that, but its ``__init__`` routes
+    every field through ``object.__setattr__`` — measurable at this call
+    rate — so the contract is documentation instead.)
+    """
 
     neighbor: int
     now: float
@@ -119,6 +131,7 @@ class TdmaMac:
         self.deliver_upstream: Optional[Callable[[object, int], None]] = None
         self.deliver_to_peer: Optional[Callable[[int, object, int], None]] = None
         self.on_packet_dropped: Optional[Callable[[object, str], None]] = None
+        self.remaining_hops_fn: Optional[Callable[[object], Optional[int]]] = None
 
         self._estimators: Dict[int, LinkEstimator] = {}
         # The MAC observes from its construction time, so the meter's
@@ -131,8 +144,9 @@ class TdmaMac:
 
     def link_estimator(self, neighbor: int) -> LinkEstimator:
         """Return (creating if needed) the estimator for the link to ``neighbor``."""
-        if neighbor not in self._estimators:
-            self._estimators[neighbor] = LinkEstimator(
+        estimator = self._estimators.get(neighbor)
+        if estimator is None:
+            estimator = LinkEstimator(
                 neighbor,
                 loss_alpha=self.config.loss_alpha,
                 attempts_alpha=self.config.attempts_alpha,
@@ -140,7 +154,8 @@ class TdmaMac:
                 initial_loss=self.channel.average_loss_probability(self.node_id, neighbor),
                 start=self.sim.now,
             )
-        return self._estimators[neighbor]
+            self._estimators[neighbor] = estimator
+        return estimator
 
     def link_loss_rate(self, neighbor: int) -> float:
         """Estimated per-attempt loss rate towards ``neighbor``."""
@@ -169,12 +184,13 @@ class TdmaMac:
 
     def link_context(self, neighbor: int, remaining_hops: Optional[int] = None) -> LinkContext:
         """Build the link-state snapshot handed to pre-transmit hooks."""
+        estimator = self.link_estimator(neighbor)
         return LinkContext(
             neighbor=neighbor,
             now=self.sim.now,
-            loss_rate=self.link_loss_rate(neighbor),
+            loss_rate=estimator.loss_rate,
             available_rate_pps=self.available_rate_pps(neighbor),
-            average_attempts=self.average_attempts(neighbor),
+            average_attempts=estimator.average_attempts,
             remaining_hops=remaining_hops,
         )
 
@@ -208,10 +224,12 @@ class TdmaMac:
 
     @staticmethod
     def _packet_bits(packet: object) -> float:
-        size_bits = getattr(packet, "size_bits", None)
-        if size_bits is None:
-            raise AttributeError("packets handled by the MAC must expose 'size_bits'")
-        return float(size_bits)
+        try:
+            return float(packet.size_bits)  # type: ignore[attr-defined]
+        except (AttributeError, TypeError):
+            # TypeError covers size_bits = None (attribute declared but
+            # never filled in) — the same caller bug as a missing one.
+            raise AttributeError("packets handled by the MAC must expose 'size_bits'") from None
 
     def _service_next(self) -> None:
         entry = self.queue.pop()
@@ -230,15 +248,22 @@ class TdmaMac:
 
     def _remaining_hops(self, packet: object) -> Optional[int]:
         """Remaining-hop estimate for the packet, if a router callback was wired."""
-        hops_fn = getattr(self, "remaining_hops_fn", None)
+        hops_fn = self.remaining_hops_fn
         if hops_fn is None:
             return None
         return hops_fn(packet)
 
     def _attempt(self, packet: object, next_hop: int, attempt_no: int, attempts_allowed: int) -> None:
+        # Hot path: one attempt per MAC transmission.  The airtime is
+        # computed once and reused for the tx energy, rx energy and
+        # service time — the same floating-point expressions the energy
+        # model's public methods evaluate, just not three times over.
         now = self.sim.now
+        config = self.config
+        energy_model = config.energy
         nbits = self._packet_bits(packet)
-        tx_energy = self.config.energy.transmit_energy(nbits)
+        airtime = energy_model.airtime(nbits)
+        tx_energy = energy_model.tx_power_watts * airtime
         flow_id = getattr(packet, "flow_id", -1)
 
         self._energy_meter.record_tx(flow_id, tx_energy)
@@ -249,38 +274,48 @@ class TdmaMac:
         success = self.channel.transmission_succeeds(self.node_id, next_hop, now)
         estimator.record_attempt(success, now)
         self.stats.record_link_attempt(success)
-        self.trace.record(
-            "mac_attempt",
-            now,
-            node=self.node_id,
-            neighbor=next_hop,
-            flow=flow_id,
-            attempt=attempt_no,
-            allowed=attempts_allowed,
-            success=success,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                "mac_attempt",
+                now,
+                node=self.node_id,
+                neighbor=next_hop,
+                flow=flow_id,
+                attempt=attempt_no,
+                allowed=attempts_allowed,
+                success=success,
+            )
 
-        service_time = self._service_time(packet)
+        service_time = (airtime + config.guard_time) / config.slot_share
+        schedule = self.sim.schedule
         if success:
             estimator.record_packet(attempt_no, delivered=True)
-            rx_energy = self.config.energy.receive_energy(nbits)
+            rx_energy = energy_model.rx_power_watts * airtime
             self.stats.register_node(next_hop).record_rx(flow_id, rx_energy)
             self._charge_packet_energy(packet, rx_energy)
-            self.sim.schedule(service_time, self._deliver, next_hop, packet)
-            self.sim.schedule(service_time, self._service_next)
+            schedule(service_time, self._deliver, next_hop, packet)
+            schedule(service_time, self._service_next)
         elif attempt_no < attempts_allowed:
             retry_delay = service_time + self.config.arq.retry_delay(service_time) - service_time
-            self.sim.schedule(service_time + retry_delay, self._attempt, packet, next_hop, attempt_no + 1, attempts_allowed)
+            schedule(service_time + retry_delay, self._attempt, packet, next_hop, attempt_no + 1, attempts_allowed)
         else:
             estimator.record_packet(attempt_no, delivered=False)
             self._dropped(packet, "link_exhausted")
-            self.sim.schedule(service_time, self._service_next)
+            schedule(service_time, self._service_next)
 
     @staticmethod
     def _charge_packet_energy(packet: object, joules: float) -> None:
-        """Accumulate energy into the packet header's energy-used field, if present."""
-        if hasattr(packet, "energy_used"):
-            packet.energy_used += joules
+        """Accumulate energy into the packet header's energy-used field, if present.
+
+        Only a missing attribute is tolerated; a failing *assignment*
+        (read-only property) still raises, so silent undercounting is
+        impossible.
+        """
+        try:
+            current = packet.energy_used  # type: ignore[attr-defined]
+        except AttributeError:
+            return
+        packet.energy_used = current + joules  # type: ignore[attr-defined]
 
     def _deliver(self, next_hop: int, packet: object) -> None:
         if self.deliver_to_peer is None:
@@ -288,8 +323,9 @@ class TdmaMac:
         self.deliver_to_peer(next_hop, packet, self.node_id)
 
     def _dropped(self, packet: object, reason: str) -> None:
-        self.trace.record("mac_drop", self.sim.now, node=self.node_id, reason=reason,
-                          flow=getattr(packet, "flow_id", -1))
+        if self.trace.enabled:
+            self.trace.record("mac_drop", self.sim.now, node=self.node_id, reason=reason,
+                              flow=getattr(packet, "flow_id", -1))
         if self.on_packet_dropped is not None:
             self.on_packet_dropped(packet, reason)
 

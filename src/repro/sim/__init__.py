@@ -6,8 +6,12 @@ environment used in the paper.  It provides:
 * :mod:`repro.sim.engine` — the event scheduler and simulation clock,
 * :mod:`repro.sim.random` — named, independently seeded random streams,
 * :mod:`repro.sim.topology` — linear / grid / random node placements,
+* :mod:`repro.sim.spatial` — the hash-grid neighbour index behind the
+  channel's connectivity queries,
 * :mod:`repro.sim.channel` — distance-based connectivity with a
   Gilbert–Elliott good/bad loss process per link,
+* :mod:`repro.sim.profile` — opt-in events/sec and per-callback
+  profiling of the engine's run loop,
 * :mod:`repro.sim.mobility` — the random-waypoint mobility model,
 * :mod:`repro.sim.queue` — drop-tail packet queues,
 * :mod:`repro.sim.node` / :mod:`repro.sim.network` — the layered node
@@ -19,6 +23,8 @@ environment used in the paper.  It provides:
 from repro.sim.engine import Event, Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.channel import Channel, GilbertElliottLink, LinkQuality
+from repro.sim.profile import CoreProfiler, profiled
+from repro.sim.spatial import SpatialGrid
 from repro.sim.topology import (
     Position,
     linear_positions,
@@ -39,8 +45,11 @@ __all__ = [
     "Simulator",
     "RandomStreams",
     "Channel",
+    "CoreProfiler",
     "GilbertElliottLink",
     "LinkQuality",
+    "SpatialGrid",
+    "profiled",
     "Position",
     "linear_positions",
     "grid_positions",

@@ -10,6 +10,15 @@ That is a textbook Gilbert–Elliott two-state model, which this module
 implements per directed link.  The channel also answers connectivity
 queries (who can hear whom, given positions and radio range), which the
 routing protocol and the MAC use.
+
+Connectivity queries are served from a spatial hash grid
+(:class:`repro.sim.spatial.SpatialGrid`, cell side = radio range) with
+per-node neighbour sets cached until the next position update, so the
+per-transmission ``in_range`` guard is a set-membership test and a
+neighbour-table refresh is O(nodes), not O(nodes²).  The cached sets
+are built in ascending node-id order — the same insertion sequence the
+historical brute-force scan used — which keeps set iteration order,
+and therefore every downstream RNG draw, bit-identical.
 """
 
 from __future__ import annotations
@@ -17,9 +26,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.sim.topology import Position, connectivity_graph
+from repro.sim.spatial import SpatialGrid
+from repro.sim.topology import Position
 from repro.util.validation import require_positive, require_probability
 
 
@@ -69,10 +79,24 @@ class GilbertElliottLink:
     State dwell times are exponential with the configured means.  State
     transitions are evaluated lazily: the link advances its state
     machine only when queried, so idle links cost nothing.
+
+    A link queried after a *very* long idle gap does not replay the full
+    transition history: after :data:`MAX_CATCHUP_TRANSITIONS` sampled
+    dwells the chain is fast-forwarded to its stationary distribution
+    (one state draw plus one dwell draw from "now").  The exponential
+    two-state chain mixes to stationarity long before that many
+    transitions, so the distribution of what a caller observes is
+    unchanged — but the number of RNG draws consumed from the link's
+    stream differs from a full replay, so the cap is set high enough
+    (~32 mean good/bad cycles) that the paper-scale experiments never
+    trigger it; :attr:`fast_forwards` counts how often it fired.
     """
 
     GOOD = "good"
     BAD = "bad"
+
+    #: Sampled transitions per query before the equilibrium fast-forward.
+    MAX_CATCHUP_TRANSITIONS = 64
 
     def __init__(self, quality: LinkQuality, rng: random.Random, start_time: float = 0.0):
         self.quality = quality
@@ -81,6 +105,7 @@ class GilbertElliottLink:
         if quality.bad_fraction > 0 and rng.random() < quality.bad_fraction:
             self._state = self.BAD
         self._state_until = start_time + self._sample_dwell(self._state)
+        self.fast_forwards = 0
 
     def _sample_dwell(self, state: str) -> float:
         mean = (
@@ -93,9 +118,23 @@ class GilbertElliottLink:
         return self._rng.expovariate(1.0 / mean)
 
     def _advance(self, now: float) -> None:
+        if now < self._state_until:
+            return
+        transitions = 0
         while now >= self._state_until:
+            transitions += 1
+            if transitions > self.MAX_CATCHUP_TRANSITIONS:
+                self._fast_forward(now)
+                return
             self._state = self.BAD if self._state == self.GOOD else self.GOOD
             self._state_until += self._sample_dwell(self._state)
+
+    def _fast_forward(self, now: float) -> None:
+        """Jump the chain to stationarity at ``now`` (long idle gaps)."""
+        quality = self.quality
+        self._state = self.BAD if self._rng.random() < quality.bad_fraction else self.GOOD
+        self._state_until = now + self._sample_dwell(self._state)
+        self.fast_forwards += 1
 
     def state(self, now: float) -> str:
         """The link state ('good' or 'bad') at time ``now``."""
@@ -108,8 +147,18 @@ class GilbertElliottLink:
         return self.quality.bad_loss if self._state == self.BAD else self.quality.good_loss
 
     def transmission_succeeds(self, now: float) -> bool:
-        """Sample one transmission attempt outcome at time ``now``."""
-        return self._rng.random() >= self.loss_probability(now)
+        """Sample one transmission attempt outcome at time ``now``.
+
+        The outcome draw is taken *before* the state machine advances —
+        the historical evaluation order of ``rng.random() >=
+        loss_probability(now)`` (Python evaluates the left operand
+        first), which seeded experiments depend on since both draws come
+        from the same per-link stream.
+        """
+        draw = self._rng.random()
+        self._advance(now)
+        loss = self.quality.bad_loss if self._state == self.BAD else self.quality.good_loss
+        return draw >= loss
 
 
 class Channel:
@@ -117,12 +166,18 @@ class Channel:
 
     Responsibilities:
 
-    * maintain node positions (updated by the mobility model),
+    * maintain node positions (updated by the mobility model) and the
+      spatial index over them,
     * answer connectivity queries from the routing layer,
     * hold one :class:`GilbertElliottLink` per directed link and decide
       the outcome of each MAC transmission attempt,
     * report the *true* instantaneous loss probability of a link, which
       the MAC link estimator only ever sees through noisy measurements.
+
+    The neighbour sets and connectivity graphs returned by
+    :meth:`neighbors_of` / :meth:`connectivity` are cached snapshots
+    owned by the channel, invalidated on the next :meth:`set_position`;
+    treat them as immutable.
     """
 
     def __init__(
@@ -133,11 +188,17 @@ class Channel:
         default_quality: Optional[LinkQuality] = None,
     ):
         self.radio_range = require_positive(radio_range, "radio_range")
-        self._positions: Dict[int, Position] = dict(enumerate(positions))
+        self._positions: List[Position] = list(positions)
         self._rng = rng
         self.default_quality = default_quality or LinkQuality()
         self._links: Dict[Tuple[int, int], GilbertElliottLink] = {}
         self._qualities: Dict[Tuple[int, int], LinkQuality] = {}
+        self._grid = SpatialGrid(radio_range)
+        for node_id, position in enumerate(self._positions):
+            self._grid.insert(node_id, position.x, position.y)
+        #: node -> cached neighbour set; cleared on any position change.
+        self._neighbors_cache: Dict[int, Set[int]] = {}
+        self._connectivity_cache: Optional[Dict[int, Set[int]]] = None
 
     # -- positions and connectivity -------------------------------------------------
 
@@ -146,32 +207,69 @@ class Channel:
         return len(self._positions)
 
     def position_of(self, node_id: int) -> Position:
+        if not 0 <= node_id < len(self._positions):
+            raise KeyError(f"unknown node {node_id}")
         return self._positions[node_id]
 
     def set_position(self, node_id: int, position: Position) -> None:
-        """Move a node (called by the mobility model)."""
-        if node_id not in self._positions:
+        """Move a node (called by the mobility model).
+
+        Updates the spatial index incrementally and invalidates the
+        cached neighbour sets / connectivity graph.
+        """
+        if not 0 <= node_id < len(self._positions):
             raise KeyError(f"unknown node {node_id}")
         self._positions[node_id] = position
+        self._grid.move(node_id, position.x, position.y)
+        if self._neighbors_cache:
+            self._neighbors_cache.clear()
+        self._connectivity_cache = None
 
     def in_range(self, src: int, dst: int) -> bool:
         """True iff ``dst`` can currently hear ``src``."""
         if src == dst:
             return False
-        return self._positions[src].distance_to(self._positions[dst]) <= self.radio_range
+        neighbors = self._neighbors_cache.get(src)
+        if neighbors is None:
+            neighbors = self._compute_neighbors(src)
+        if dst in neighbors:
+            return True
+        # Only the miss branch pays for the id check: neighbour sets can
+        # only contain valid ids, and an unknown ``dst`` must keep
+        # raising (list indexing would silently alias negative ids).
+        if not 0 <= dst < len(self._positions):
+            raise KeyError(f"unknown node {dst}")
+        return False
+
+    def _compute_neighbors(self, node_id: int) -> Set[int]:
+        # Cache-miss path only, so the id check is free on the hot path;
+        # without it, list indexing would silently alias negative ids.
+        if not 0 <= node_id < len(self._positions):
+            raise KeyError(f"unknown node {node_id}")
+        # neighbors_within builds the set in the historical brute-force
+        # insertion order (ascending ids), which keeps set iteration
+        # order — and so every downstream consumer — bit-identical.
+        result = self._grid.neighbors_within(node_id, self._positions, self.radio_range)
+        self._neighbors_cache[node_id] = result
+        return result
 
     def neighbors_of(self, node_id: int) -> Set[int]:
-        """All nodes currently within radio range of ``node_id``."""
-        return {
-            other
-            for other in self._positions
-            if other != node_id and self.in_range(node_id, other)
-        }
+        """All nodes currently within radio range of ``node_id``.
+
+        The returned set is a cached snapshot; treat it as immutable.
+        """
+        neighbors = self._neighbors_cache.get(node_id)
+        if neighbors is None:
+            neighbors = self._compute_neighbors(node_id)
+        return neighbors
 
     def connectivity(self) -> Dict[int, Set[int]]:
-        """Current unit-disk connectivity graph."""
-        ordered = [self._positions[i] for i in sorted(self._positions)]
-        return connectivity_graph(ordered, self.radio_range)
+        """Current unit-disk connectivity graph (cached snapshot)."""
+        graph = self._connectivity_cache
+        if graph is None:
+            graph = {node_id: self.neighbors_of(node_id) for node_id in range(len(self._positions))}
+            self._connectivity_cache = graph
+        return graph
 
     # -- link quality ----------------------------------------------------------------
 
@@ -185,11 +283,13 @@ class Channel:
 
     def _link(self, src: int, dst: int, now: float) -> GilbertElliottLink:
         key = (src, dst)
-        if key not in self._links:
+        link = self._links.get(key)
+        if link is None:
             quality = self._qualities.get(key, self.default_quality)
             stream = random.Random(self._rng.getrandbits(64))
-            self._links[key] = GilbertElliottLink(quality, stream, start_time=now)
-        return self._links[key]
+            link = GilbertElliottLink(quality, stream, start_time=now)
+            self._links[key] = link
+        return link
 
     def loss_probability(self, src: int, dst: int, now: float) -> float:
         """True per-attempt loss probability of the directed link right now.
@@ -208,6 +308,14 @@ class Channel:
 
     def transmission_succeeds(self, src: int, dst: int, now: float) -> bool:
         """Decide the fate of a single MAC transmission attempt."""
-        if not self.in_range(src, dst):
+        # Per-transmission hot path: the in_range check is inlined as a
+        # membership test on the cached neighbour set (which can never
+        # contain ``src`` itself, so no self-loop guard is needed).
+        neighbors = self._neighbors_cache.get(src)
+        if neighbors is None:
+            neighbors = self._compute_neighbors(src)
+        if dst not in neighbors:
+            if not 0 <= dst < len(self._positions):
+                raise KeyError(f"unknown node {dst}")
             return False
         return self._link(src, dst, now).transmission_succeeds(now)

@@ -110,17 +110,21 @@ class RandomWaypointMobility:
         self._sim.schedule(self.update_interval, self._step, node_id)
 
     def _step(self, node_id: int) -> None:
-        assert self._sim is not None
+        sim = self._sim
+        assert sim is not None
         target = self._targets[node_id]
         if target is None:
             return
         current = self.channel.position_of(node_id)
         new_position = current.moved_towards(target, self.speed * self.update_interval)
+        # The channel updates its spatial index incrementally (a no-op
+        # unless the node crossed a grid cell), so per-step position
+        # updates stay O(1) regardless of network size.
         self.channel.set_position(node_id, new_position)
         if self.on_topology_change is not None:
             self.on_topology_change()
-        if new_position == target:
+        if new_position is target or new_position == target:
             self._targets[node_id] = None
-            self._sim.schedule(self._sample_pause(), self._begin_leg, node_id)
+            sim.schedule(self._sample_pause(), self._begin_leg, node_id)
         else:
-            self._sim.schedule(self.update_interval, self._step, node_id)
+            sim.schedule(self.update_interval, self._step, node_id)

@@ -82,7 +82,10 @@ class Node:
         delivered locally), False if it was dropped for lack of a route
         or a full queue.
         """
-        dst = getattr(packet, "dst", None)
+        try:
+            dst = packet.dst
+        except AttributeError:
+            raise AttributeError("packets must expose a 'dst' attribute") from None
         if dst is None:
             raise AttributeError("packets must expose a 'dst' attribute")
         if dst == self.node_id:
@@ -92,14 +95,19 @@ class Node:
         if next_hop is None:
             self.stats.record_routing_drop()
             self._count_flow_drop(packet)
-            self.trace.record("routing_drop", self.sim.now, node=self.node_id,
-                              flow=getattr(packet, "flow_id", -1), dst=dst)
+            if self.trace.enabled:
+                self.trace.record("routing_drop", self.sim.now, node=self.node_id,
+                                  flow=getattr(packet, "flow_id", -1), dst=dst)
             return False
         return self.mac.enqueue(packet, next_hop)
 
     def _on_mac_receive(self, packet: object, from_node: int) -> None:
-        if hasattr(packet, "hops_travelled"):
-            packet.hops_travelled += 1
+        try:
+            hops = packet.hops_travelled  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        else:
+            packet.hops_travelled = hops + 1  # type: ignore[attr-defined]
         if getattr(packet, "dst", None) == self.node_id:
             self.deliver_local(packet)
         else:

@@ -62,12 +62,14 @@ class DropTailQueue(Generic[T]):
 
     def push(self, item: T) -> bool:
         """Append ``item``; returns False (and counts a drop) if full."""
-        if self.is_full():
+        items = self._items
+        if len(items) >= self.capacity:
             self._drops += 1
             return False
-        self._items.append(item)
+        items.append(item)
         self._enqueued += 1
-        self._high_watermark = max(self._high_watermark, len(self._items))
+        if len(items) > self._high_watermark:
+            self._high_watermark = len(items)
         return True
 
     def push_front(self, item: T) -> bool:

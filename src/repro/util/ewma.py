@@ -79,13 +79,21 @@ class WindowedRate:
         self._start = start
 
     def record(self, now: float, amount: float = 1.0) -> None:
-        """Record ``amount`` units occurring at time ``now``."""
+        """Record ``amount`` units occurring at time ``now``.
+
+        Expiry is lazy: :meth:`rate` always trims before reading, so the
+        record path only trims once the backlog spans two windows (a
+        memory bound, not a correctness requirement) — recording is a
+        deque append on the hot path.
+        """
         if self._start is None:
             self._start = now
-        self._events.append((now, amount))
+        events = self._events
+        events.append((now, amount))
         self._total += amount
         self._cumulative += amount
-        self._expire(now)
+        if events[0][0] < now - 2.0 * self.window:
+            self._expire(now)
 
     def rate(self, now: float) -> float:
         """Amount per second over the trailing window ending at ``now``."""

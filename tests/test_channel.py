@@ -66,6 +66,37 @@ class TestGilbertElliottLink:
         link = GilbertElliottLink(LinkQuality.perfect(), random.Random(1))
         assert all(link.transmission_succeeds(t * 1.0) for t in range(200))
 
+    def test_long_idle_gap_fast_forwards_with_bounded_rng_draws(self):
+        # A link queried after a huge idle gap must not replay millions
+        # of dwell transitions: after MAX_CATCHUP_TRANSITIONS sampled
+        # dwells the chain jumps to its stationary distribution.
+        class CountingRandom(random.Random):
+            calls = 0
+
+            def random(self):
+                CountingRandom.calls += 1
+                return super().random()
+
+        rng = CountingRandom(3)
+        quality = LinkQuality(bad_fraction=0.5, mean_bad_duration=0.001)
+        link = GilbertElliottLink(quality, rng)
+        before = CountingRandom.calls
+        state = link.state(1e9)  # ~1e12 transitions if replayed faithfully
+        draws = CountingRandom.calls - before
+        assert state in (GilbertElliottLink.GOOD, GilbertElliottLink.BAD)
+        assert link.fast_forwards == 1
+        assert draws <= GilbertElliottLink.MAX_CATCHUP_TRANSITIONS + 3
+        # Subsequent nearby queries advance normally again.
+        link.state(1e9 + 0.001)
+        assert link.fast_forwards <= 2
+
+    def test_short_gaps_never_fast_forward(self):
+        quality = LinkQuality(bad_fraction=0.2, mean_bad_duration=3.0)
+        link = GilbertElliottLink(quality, random.Random(5))
+        for t in range(0, 5000, 5):
+            link.state(float(t))
+        assert link.fast_forwards == 0
+
 
 class TestChannel:
     def _channel(self, num_nodes=4, spacing=40.0, radio_range=50.0, quality=None):
@@ -101,6 +132,21 @@ class TestChannel:
         channel = self._channel()
         with pytest.raises(KeyError):
             channel.set_position(99, Position(0, 0))
+
+    def test_unknown_node_ids_raise_not_alias(self):
+        # Regression: positions moved from a dict to a list; negative
+        # ids must keep raising instead of aliasing the last node.
+        channel = self._channel()
+        with pytest.raises(KeyError):
+            channel.neighbors_of(-1)
+        with pytest.raises(KeyError):
+            channel.in_range(0, -1)
+        with pytest.raises(KeyError):
+            channel.in_range(99, 0)
+        with pytest.raises(KeyError):
+            channel.transmission_succeeds(0, 99, now=0.0)
+        with pytest.raises(KeyError):
+            channel.position_of(-1)
 
     def test_out_of_range_loss_probability_is_one(self):
         channel = self._channel()

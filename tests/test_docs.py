@@ -88,6 +88,7 @@ class TestReadmeIndexes:
             "REPRO_PLOTS_DIR",
             "REPRO_PLOTS_BACKEND",
             "REPRO_BENCH_NO_ASSERT",
+            "REPRO_PROFILE",
         ):
             assert variable in self.README, f"README env-var table misses {variable}"
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import COMPACT_MIN_CANCELLED, Simulator
 
 
 def test_events_run_in_time_order():
@@ -167,3 +167,146 @@ def test_kwargs_passed_to_callback():
     sim.schedule(1.0, lambda **kw: got.update(kw), value=42)
     sim.run()
     assert got == {"value": 42}
+
+
+def test_args_and_kwargs_passed_together():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda a, b=0, **kw: got.append((a, b, kw)), 1, b=2, c=3)
+    sim.run()
+    assert got == [(1, 2, {"c": 3})]
+
+
+class TestNegativeDelayClamp:
+    def test_tiny_negative_round_off_delta_is_clamped_to_now(self):
+        # `deadline - now` subtractions produce deltas like -1e-18; they
+        # must schedule "now", not raise.
+        sim = Simulator()
+        fired = []
+        sim.schedule(-1e-18, fired.append, "a")
+        sim.schedule(-1e-12, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 0.0
+
+    def test_real_negative_delay_still_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1e-6, lambda: None)
+
+    def test_schedule_at_round_off_before_now_is_clamped(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert sim.now == 100.0
+        event = sim.schedule_at(100.0 - 1e-12, lambda: None)
+        assert event.time == 100.0
+        with pytest.raises(ValueError):
+            sim.schedule_at(99.0, lambda: None)
+
+    def test_schedule_at_tolerance_stays_tight_on_long_runs(self):
+        # The clamp covers ULP-scale round-off only: at now=1e6 a time
+        # half a millisecond in the past is a real caller bug and must
+        # still raise, not silently fire late.
+        sim = Simulator()
+        sim.schedule(1e6, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1e6 - 5e-4, lambda: None)
+        event = sim.schedule_at(1e6 - 2e-10, lambda: None)  # ~2 ULP: clamped
+        assert event.time == 1e6
+
+
+class TestLazyCancelCompaction:
+    def test_pending_counts_cancelled_live_does_not(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        assert sim.live_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_events == 10  # physical heap size, documented
+        assert sim.live_events == 6
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.live_events == 1
+
+    def test_compaction_purges_dead_events_and_keeps_counts_correct(self):
+        sim = Simulator()
+        keep = 10
+        churn = 4 * COMPACT_MIN_CANCELLED
+        live_fired = []
+        for i in range(keep):
+            sim.schedule(1000.0 + i, live_fired.append, i)
+        victims = [sim.schedule(2000.0 + i, lambda: None) for i in range(churn)]
+        for victim in victims:
+            victim.cancel()
+        # The cancelled majority must have been compacted away, not left
+        # bloating the heap until their (far-future) times arrive.
+        assert sim.heap_compactions >= 1
+        assert sim.pending_events < keep + churn
+        assert sim.live_events == keep
+        assert sim.pending_events >= sim.live_events
+        sim.run(until=1500.0)
+        assert live_fired == list(range(keep))  # order survived compaction
+        assert sim.live_events == 0
+
+    def test_cancelled_events_popped_before_compaction_decrement_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.live_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.live_events == 0
+
+    def test_cancelling_an_already_fired_event_is_a_counted_noop(self):
+        # Regression: transport timers run `self._timer.cancel()` from
+        # the very callback the timer fired — the event is no longer in
+        # the heap, so the cancel must not feed the lazy-cancel
+        # accounting (live_events went negative and every ~64 events
+        # triggered a spurious full-heap compaction).
+        sim = Simulator()
+        state = {"event": None, "fired": 0}
+
+        def rearm():
+            state["fired"] += 1
+            if state["event"] is not None:
+                state["event"].cancel()  # cancels the event that just fired
+            if state["fired"] < 300:
+                state["event"] = sim.schedule(1.0, rearm)
+
+        state["event"] = sim.schedule(1.0, rearm)
+        sim.run()
+        assert state["fired"] == 300
+        assert sim.pending_events == 0
+        assert sim.live_events == 0
+        assert sim.heap_compactions == 0
+
+    def test_compaction_mid_run_from_callback(self):
+        # Cancelling en masse from inside a callback triggers an
+        # in-place compaction while run() holds its local queue alias.
+        sim = Simulator()
+        victims = []
+        fired = []
+
+        def setup():
+            for i in range(3 * COMPACT_MIN_CANCELLED):
+                victims.append(sim.schedule(500.0 + i, lambda: None))
+
+        def massacre():
+            for victim in victims:
+                victim.cancel()
+
+        sim.schedule(1.0, setup)
+        sim.schedule(2.0, massacre)
+        sim.schedule(3.0, fired.append, "after")
+        sim.run()
+        assert fired == ["after"]
+        assert sim.heap_compactions >= 1

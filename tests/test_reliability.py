@@ -141,3 +141,43 @@ class TestEndToEnd:
         strict, _ = plan_hop_attempts(0.0, losses, max_attempts=10)
         relaxed, _ = plan_hop_attempts(0.3, losses, max_attempts=10)
         assert all(r <= s for r, s in zip(relaxed, strict))
+
+
+class TestFusedHotPath:
+    """plan_link_attempts must be bit-for-bit the chained equations."""
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_matches_validated_equation_chain(self, tolerance, loss, hops, cap):
+        from repro.core.reliability import plan_link_attempts
+
+        target = per_link_success_target(tolerance, hops)
+        expected_attempts = attempts_for_target(target, loss, cap)
+        link_success = achieved_link_success(loss, expected_attempts)
+        expected_tolerance = updated_loss_tolerance(tolerance, link_success)
+
+        attempts, updated = plan_link_attempts(tolerance, loss, hops, cap)
+        assert attempts == expected_attempts
+        # Bit-identical, not approximately equal: the fused form must
+        # evaluate the same floating-point expressions.
+        assert updated == expected_tolerance
+
+    def test_certainly_lost_link_gets_the_cap_not_a_crash(self):
+        # Regression: link_loss=1.0 used to divide by log(1) = 0.
+        assert attempts_for_target(0.9, 1.0, 5) == 5
+        from repro.core.reliability import plan_link_attempts
+        attempts, updated = plan_link_attempts(0.1, 1.0, 3, 5)
+        assert attempts == 5
+        assert updated == 0.0  # q = 0: downstream gets full effort
+
+    def test_zero_target_still_needs_one_attempt_even_on_a_dead_link(self):
+        # The loss=1.0 cap must not shadow the target<=0 branch: a fully
+        # relaxed tolerance sends exactly once, whatever the link.
+        assert attempts_for_target(0.0, 1.0, 10) == 1
+        from repro.core.reliability import plan_link_attempts
+        attempts, _ = plan_link_attempts(1.0, 1.0, 3, 10)  # tolerance 1 -> target 0
+        assert attempts == 1
