@@ -53,8 +53,8 @@ MAX_REGRESSION = 0.25
 
 CHURN_TIMERS = 64
 CHURN_DURATION = 1200.0
-LINEAR_PARAMS = dict(num_nodes=8, transfer_bytes=200_000.0, num_flows=2, duration=1500.0, seed=1)
-MOBILE_PARAMS = dict(num_nodes=12, num_flows=2, transfer_bytes=60_000.0, duration=900.0, speed=5.0, seed=1)
+LINEAR_PARAMS = {"num_nodes": 8, "transfer_bytes": 200_000.0, "num_flows": 2, "duration": 1500.0, "seed": 1}
+MOBILE_PARAMS = {"num_nodes": 12, "num_flows": 2, "transfer_bytes": 60_000.0, "duration": 900.0, "speed": 5.0, "seed": 1}
 
 #: Each workload is measured this many times; the best (highest
 #: events/sec) repeat is recorded, which filters scheduler noise out of

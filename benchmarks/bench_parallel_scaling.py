@@ -47,18 +47,18 @@ from repro.experiments.runner import summarize
 
 WORKER_COUNTS = (1, 2, 4)
 NUM_SEEDS = 10
-SCENARIO = ScenarioSpec("linear", dict(
-    num_nodes=5, protocol="jtp", transfer_bytes=30_000, num_flows=1, duration=400,
-))
+SCENARIO = ScenarioSpec("linear", {
+    "num_nodes": 5, "protocol": "jtp", "transfer_bytes": 30_000, "num_flows": 1, "duration": 400,
+})
 #: Figure-sized calls for the pooled-vs-throwaway comparison: small
 #: grids, so per-call pool start-up is a visible fraction of the work —
 #: exactly the regime a full-paper run with many quick figures is in.
 REUSE_CALLS = 6
 REUSE_SEEDS = 6
 REUSE_SCENARIOS = tuple(
-    ScenarioSpec("linear", dict(
-        num_nodes=3 + (index % 3), protocol="jtp", transfer_bytes=8_000, num_flows=1, duration=120,
-    ))
+    ScenarioSpec("linear", {
+        "num_nodes": 3 + (index % 3), "protocol": "jtp", "transfer_bytes": 8_000, "num_flows": 1, "duration": 120,
+    })
     for index in range(REUSE_CALLS)
 )
 RECORD_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
@@ -130,14 +130,14 @@ def test_parallel_scaling(benchmark):
             figures.table2_plan(num_nodes=6, duration=120),
         ]
         plan_seeds = [reuse_seeds[:2], reuse_seeds[:2], reuse_seeds[:1]]
-        grids = [(plan.specs, seeds_) for plan, seeds_ in zip(plans, plan_seeds)]
+        grids = [(plan.specs, seeds_) for plan, seeds_ in zip(plans, plan_seeds, strict=True)]
         with ProcessBackend(workers=pool_workers) as backend:
             runner = ParallelRunner(backend=backend)
             batched = runner.run_grids(grids)
             per_figure = [runner.run_grid(list(specs), seeds_) for specs, seeds_ in grids]
         assert batched == per_figure, "batched grids changed the records"
-        batched_rows = [plan.aggregate(groups) for plan, groups in zip(plans, batched)]
-        per_figure_rows = [plan.aggregate(groups) for plan, groups in zip(plans, per_figure)]
+        batched_rows = [plan.aggregate(groups) for plan, groups in zip(plans, batched, strict=True)]
+        per_figure_rows = [plan.aggregate(groups) for plan, groups in zip(plans, per_figure, strict=True)]
         assert batched_rows == per_figure_rows, "batched grids changed the figure rows"
         reuse["batched_figures"] = [plan.name for plan in plans]
 

@@ -41,7 +41,7 @@ def run_protocol(name: str, seed: int = 11):
 
     protocol = make_protocol(name)
     protocol.install(network)
-    uploaders = [node for node in range(1, NUM_NODES)][:NUM_UPLOADERS]
+    uploaders = list(range(1, NUM_NODES))[:NUM_UPLOADERS]
     flows = [
         protocol.create_flow(network, src, COLLECTOR, UPLOAD_BYTES, start_time=20.0 * index)
         for index, src in enumerate(uploaders)

@@ -1,0 +1,77 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def import_aliases(tree: ast.Module, modules: Sequence[str]) -> Dict[str, str]:
+    """Map local names to the interesting modules they alias.
+
+    ``import time as _time`` → ``{"_time": "time"}``; dotted imports
+    (``import os.path``) bind the top-level name, which is what
+    attribute chains start from.
+    """
+    wanted = set(modules)
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in wanted:
+                    aliases[alias.asname or top] = top
+    return aliases
+
+
+def walk_with_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield ``(node, enclosing_functions)`` for every node in the tree.
+
+    ``enclosing_functions`` is the stack of ``FunctionDef`` /
+    ``AsyncFunctionDef`` nodes the node sits inside, outermost first
+    (empty at module level).  Used by rules whose verdict depends on
+    *where* a construct appears — e.g. ENV001's ``*_from_env`` seam
+    convention.
+    """
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+        yield node, tuple(stack)
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_function:
+            stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if is_function:
+            stack.pop()
+
+    for top in ast.iter_child_nodes(tree):
+        yield from visit(top)
+
+
+def nested_function_names(tree: ast.Module) -> Dict[str, int]:
+    """Names of functions defined *inside other functions*, with def line.
+
+    Methods (functions directly inside a class body) are excluded —
+    they are importable attributes of their class.  Only defs whose
+    enclosing scope is itself a function are closure-bound and hence
+    unpicklable by name.
+    """
+    nested: Dict[str, int] = {}
+    for node, functions in walk_with_functions(tree):
+        # A def is yielded before being pushed, so ``functions`` holds
+        # only its *enclosing* functions: non-empty means closure-bound.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and functions:
+            nested.setdefault(node.name, node.lineno)
+    return nested
+
+
+def call_name(node: ast.expr) -> Optional[str]:
+    """The bare or attribute name a call targets (``sorted`` / ``keys``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

@@ -1,0 +1,42 @@
+"""The finding record every rule emits.
+
+A :class:`Finding` pins one violation to a file, line and column, names
+the rule that produced it and carries a human-readable message.  The
+shape is deliberately flat and JSON-friendly: ``python -m repro.checks
+--format json`` dumps :meth:`Finding.as_dict` verbatim, which is what
+the CI job uploads as its artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Ordering is ``(path, line, column, rule_id)`` — the order findings
+    are reported in, so output is stable across rule execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-output shape (one object per finding)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text-output shape (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"

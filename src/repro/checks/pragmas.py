@@ -1,0 +1,55 @@
+"""``# repro: allow[RULE]`` pragma parsing.
+
+Every rule in :mod:`repro.checks` honours a per-line allowlist pragma::
+
+    neighbors = graph.get(node, set())
+    for n in neighbors:  # repro: allow[DET002] insertion order pinned by channel
+        ...
+
+The pragma applies to findings on its own line **or** on the line
+directly below it, so a deliberate violation can carry its
+justification either as a trailing comment or as a standalone comment
+immediately above the flagged statement::
+
+    # repro: allow[DET001] wall-clock feeds the profiler only, never sim state
+    perf_counter = _time.perf_counter
+
+Several rule ids may be allowed at once (``allow[DET001,DET002]``).
+Everything after the closing bracket is free text — use it for the
+one-line justification the style guide requires.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+#: Matches ``# repro: allow[ID]`` / ``# repro: allow[ID1,ID2] reason…``.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_pragmas(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        ids = frozenset(part.strip().upper() for part in match.group(1).split(",") if part.strip())
+        if ids:
+            allowed[lineno] = ids
+    return allowed
+
+
+def is_allowed(pragmas: Dict[int, FrozenSet[str]], rule_id: str, line: int) -> bool:
+    """Whether a finding of ``rule_id`` at ``line`` is pragma-suppressed.
+
+    A pragma suppresses findings on its own line and on the line
+    immediately after it (the standalone-comment-above form).
+    """
+    rule_id = rule_id.upper()
+    for candidate in (line, line - 1):
+        ids = pragmas.get(candidate)
+        if ids is not None and rule_id in ids:
+            return True
+    return False

@@ -1,0 +1,137 @@
+"""Parsed source files as the unit every rule operates on.
+
+A :class:`ModuleSource` bundles what a rule needs to inspect one file:
+the parsed AST, the raw lines (for pragma lookup), and the *dotted
+module name* derived from the file path — which is how rules scope
+themselves to the packages whose invariants they guard (``repro.sim``
+vs. ``repro.experiments`` and so on).  Files that do not parse are
+reported as findings by the driver, not raised, so one syntax error
+cannot hide every other file's results.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.checks.pragmas import is_allowed, parse_pragmas
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, ready for rule inspection."""
+
+    path: str
+    module: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    pragmas: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, path: str = "<memory>", module: str = "") -> "ModuleSource":
+        """Parse source text (fixture entry point for the rule tests)."""
+        lines = text.splitlines()
+        return cls(
+            path=path,
+            module=module or module_name_for(Path(path)),
+            text=text,
+            tree=ast.parse(text, filename=path),
+            lines=lines,
+            pragmas=parse_pragmas(lines),
+        )
+
+    @classmethod
+    def from_file(cls, path: PathLike) -> "ModuleSource":
+        """Parse a file from disk (raises ``SyntaxError`` on bad source)."""
+        p = Path(path)
+        return cls.from_text(p.read_text(), path=str(p), module=module_name_for(p))
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """Whether a ``# repro: allow[...]`` pragma suppresses this line."""
+        return is_allowed(self.pragmas, rule_id, line)
+
+    def in_package(self, packages: Sequence[str]) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        for prefix in packages:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from a file path, anchored at the package root.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``benchmarks/conftest.py`` → ``benchmarks.conftest``.  The anchor is
+    the last path component named ``src`` (the src-layout root) or,
+    failing that, the first component named like a top-level package we
+    know (``repro``, ``tests``, ``benchmarks``, ``examples``); with no
+    anchor the bare stem is used, so fixture files still get a name.
+    """
+    parts = [part for part in path.parts if part not in (".", "")]
+    if not parts:
+        return path.stem
+    stemmed = list(parts[:-1]) + [Path(parts[-1]).stem]
+    if stemmed[-1] == "__init__":
+        stemmed = stemmed[:-1]
+    if not stemmed:
+        return path.stem
+    anchors = [index for index, part in enumerate(stemmed) if part == "src"]
+    if anchors:
+        tail = stemmed[anchors[-1] + 1:]
+        return ".".join(tail) if tail else path.stem
+    for index, part in enumerate(stemmed):
+        if part in ("repro", "tests", "benchmarks", "examples"):
+            return ".".join(stemmed[index:])
+    return stemmed[-1]
+
+
+def iter_source_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, without duplicates.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  Explicit file arguments are yielded even
+    without a ``.py`` suffix, so the CLI can check odd layouts on
+    request.
+    """
+    seen = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates: Tuple[Path, ...] = tuple(sorted(root.rglob("*.py")))
+        else:
+            candidates = (root,)
+        for candidate in candidates:
+            if any(part == "__pycache__" or part.startswith(".") for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def load_sources(
+    paths: Sequence[PathLike],
+) -> Tuple[List[ModuleSource], List[Tuple[str, Optional[int], str]]]:
+    """Parse every file under ``paths``.
+
+    Returns ``(sources, errors)`` where each error is a ``(path, line,
+    message)`` triple for a file that failed to read or parse — the
+    driver reports those as findings of the pseudo-rule ``PARSE``.
+    """
+    sources: List[ModuleSource] = []
+    errors: List[Tuple[str, Optional[int], str]] = []
+    for path in iter_source_files(paths):
+        try:
+            sources.append(ModuleSource.from_file(path))
+        except SyntaxError as exc:
+            errors.append((str(path), exc.lineno, f"syntax error: {exc.msg}"))
+        except OSError as exc:
+            errors.append((str(path), None, f"cannot read file: {exc}"))
+    return sources, errors

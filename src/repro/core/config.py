@@ -171,6 +171,6 @@ class JTPConfig:
     @classmethod
     def no_caching(cls, **overrides) -> "JTPConfig":
         """The JNC variant of Section 4.1: JTP with in-network caching disabled."""
-        params = dict(caching_enabled=False)
+        params = {"caching_enabled": False}
         params.update(overrides)
         return cls(**params)

@@ -66,7 +66,10 @@ import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, TypeVar
+
+_T = TypeVar("_T")
 
 __all__ = [
     "ExecutorBackend",
@@ -121,10 +124,10 @@ class ExecutorBackend(ABC):
     workers: int = 1
 
     @abstractmethod
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         """Apply ``fn`` to every item and return the results in order."""
 
-    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+    def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """Yield ``fn(item)`` results **in item order** as they complete.
 
         The streaming counterpart of :meth:`map`, consumed by the
@@ -140,7 +143,7 @@ class ExecutorBackend(ABC):
         """
         return iter(self.map(fn, items))
 
-    def close(self) -> None:
+    def close(self) -> None:  # noqa: B027 - intentionally optional: poolless backends need no teardown
         """Release worker resources (idempotent; lazily restarts on reuse)."""
 
     @property
@@ -151,7 +154,12 @@ class ExecutorBackend(ABC):
     def __enter__(self) -> "ExecutorBackend":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -171,10 +179,10 @@ class SerialBackend(ExecutorBackend):
     def __init__(self) -> None:
         self.workers = 1
 
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         return [fn(item) for item in items]
 
-    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+    def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """True streaming: each task runs when its result is consumed."""
         return (fn(item) for item in items)
 
@@ -193,12 +201,14 @@ def _positive_workers(workers: Optional[int]) -> int:
 #: pool is created; children fork lazily on first submission and see it.
 #: _INHERITED_LOCK serialises concurrent fallback calls so one call's
 #: children cannot inherit another call's work.
-_INHERITED_WORK: Optional[Tuple[Callable, Sequence]] = None
+_INHERITED_WORK: Optional[Tuple[Callable[[Any], Any], Sequence[Any]]] = None
 _INHERITED_LOCK = threading.Lock()
 
 
-def _run_inherited(index: int):
-    fn, items = _INHERITED_WORK
+def _run_inherited(index: int) -> Any:
+    work = _INHERITED_WORK
+    assert work is not None, "_run_inherited called outside a fallback window"
+    fn, items = work
     return fn(items[index])
 
 
@@ -225,17 +235,19 @@ class _PooledBackend(ExecutorBackend):
 
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = _positive_workers(workers)
-        self._pool = None
+        #: The underlying executor; typed loosely because process and
+        #: thread pools share no useful ancestor beyond ``Executor``.
+        self._pool: Optional[Any] = None
         self._lock = threading.Lock()
 
-    def _make_pool(self):
+    def _make_pool(self) -> Any:
         raise NotImplementedError
 
     @property
     def is_running(self) -> bool:
         return self._pool is not None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Any:
         with self._lock:
             if self._pool is None:
                 self._pool = self._make_pool()
@@ -247,13 +259,13 @@ class _PooledBackend(ExecutorBackend):
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         items = list(items)
         if not items:
             return []
         return list(self._ensure_pool().map(fn, items))
 
-    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+    def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """Stream results in submission order as workers complete them."""
         items = list(items)
         if not items:
@@ -298,7 +310,7 @@ class ProcessBackend(_PooledBackend):
                 return frozenset()
             return frozenset(self._pool._processes or ())
 
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         items = list(items)
         if not items:
             return []
@@ -326,7 +338,7 @@ class ProcessBackend(_PooledBackend):
                 self.close()
                 raise
 
-    def imap(self, fn: Callable, items: Iterable) -> Iterator:
+    def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """Stream in order, with :meth:`map`'s recovery semantics.
 
         Unpicklable payloads fall back to the one-shot forked pool
@@ -337,7 +349,7 @@ class ProcessBackend(_PooledBackend):
         """
         items = list(items)
 
-        def generate() -> Iterator:
+        def generate() -> Iterator[_T]:
             if not items:
                 return
             try:
@@ -358,7 +370,7 @@ class ProcessBackend(_PooledBackend):
 
         return generate()
 
-    def _map_inherited(self, fn: Callable, items: List) -> List:
+    def _map_inherited(self, fn: Callable[[Any], _T], items: List[Any]) -> List[_T]:
         """One-shot forked pool for unpicklable payloads (no pool reuse)."""
         if "fork" not in multiprocessing.get_all_start_methods():
             raise TypeError(
@@ -424,7 +436,7 @@ class AsyncBackend(ExecutorBackend):
         self.endpoint = endpoint
         self.workers = _positive_workers(workers)
 
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         raise NotImplementedError(
             "AsyncBackend is an API placeholder for the multi-machine backend; "
             "use SerialBackend, ProcessBackend or ThreadBackend to execute work"

@@ -67,7 +67,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 from repro.core.config import CachePolicy, FeedbackMode, JTPConfig
 from repro.experiments.backends import ExecutorBackend
@@ -301,20 +301,20 @@ def figure3_plan(
     """Grid + aggregation for Figures 3(a) and 3(b)."""
     cells = [(size, tolerance) for size in net_sizes for tolerance in tolerances]
     specs = tuple(
-        ScenarioSpec("linear", dict(
-            num_nodes=size,
-            protocol=f"jtp{int(round(tolerance * 100))}" if tolerance > 0 else "jtp",
-            jtp_config=JTPConfig(loss_tolerance=tolerance),
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-        ))
+        ScenarioSpec("linear", {
+            "num_nodes": size,
+            "protocol": f"jtp{int(round(tolerance * 100))}" if tolerance > 0 else "jtp",
+            "jtp_config": JTPConfig(loss_tolerance=tolerance),
+            "transfer_bytes": transfer_bytes,
+            "num_flows": 1,
+            "duration": duration,
+        })
         for size, tolerance in cells
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for (size, tolerance), records in zip(cells, groups):
+        for (size, tolerance), records in zip(cells, groups, strict=True):
             energies = [r.metrics.energy_joules for r in records]
             delivered = [r.metrics.delivered_bytes / 1e3 for r in records]
             energy_mean, energy_ci = _mean_ci(energies)
@@ -391,20 +391,20 @@ def figure4_plan(
     """Grid + aggregation for Figure 4(a)."""
     cells = [(size, name) for size in net_sizes for name in ("jtp", "jnc")]
     specs = tuple(
-        ScenarioSpec("linear", dict(
-            num_nodes=size,
-            protocol=name,
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-            link_quality=LOSSY_LINK_QUALITY,
-        ))
+        ScenarioSpec("linear", {
+            "num_nodes": size,
+            "protocol": name,
+            "transfer_bytes": transfer_bytes,
+            "num_flows": 1,
+            "duration": duration,
+            "link_quality": LOSSY_LINK_QUALITY,
+        })
         for size, name in cells
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for (size, name), records in zip(cells, groups):
+        for (size, name), records in zip(cells, groups, strict=True):
             mean, ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
             rows.append({
                 "netSize": size,
@@ -438,20 +438,20 @@ def figure4b_plan(
     """Grid + aggregation for Figure 4(b)."""
     names = ("jtp", "jnc")
     specs = tuple(
-        ScenarioSpec("linear", dict(
-            num_nodes=num_nodes,
-            protocol=name,
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-            link_quality=LOSSY_LINK_QUALITY,
-        ))
+        ScenarioSpec("linear", {
+            "num_nodes": num_nodes,
+            "protocol": name,
+            "transfer_bytes": transfer_bytes,
+            "num_flows": 1,
+            "duration": duration,
+            "link_quality": LOSSY_LINK_QUALITY,
+        })
         for name in names
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for name, records in zip(names, groups):
+        for name, records in zip(names, groups, strict=True):
             per_node: Dict[int, List[float]] = {i: [] for i in range(num_nodes)}
             for record in records:
                 for node_id, joules in record.metrics.per_node_energy.items():
@@ -543,21 +543,21 @@ def figure6_plan(
     """Grid + aggregation for Figure 6."""
     cells = [(size, cache_size) for size in net_sizes for cache_size in cache_sizes]
     specs = tuple(
-        ScenarioSpec("linear", dict(
-            num_nodes=size,
-            protocol="jtp",
-            jtp_config=JTPConfig(cache_size=cache_size),
-            transfer_bytes=transfer_bytes,
-            num_flows=1,
-            duration=duration,
-            link_quality=LOSSY_LINK_QUALITY,
-        ))
+        ScenarioSpec("linear", {
+            "num_nodes": size,
+            "protocol": "jtp",
+            "jtp_config": JTPConfig(cache_size=cache_size),
+            "transfer_bytes": transfer_bytes,
+            "num_flows": 1,
+            "duration": duration,
+            "link_quality": LOSSY_LINK_QUALITY,
+        })
         for size, cache_size in cells
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for (size, cache_size), records in zip(cells, groups):
+        for (size, cache_size), records in zip(cells, groups, strict=True):
             rows.append({
                 "netSize": size,
                 "cache_size": cache_size,
@@ -701,7 +701,7 @@ def _comparison_aggregate(
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for (cell_value, name), records in zip(cells, groups):
+        for (cell_value, name), records in zip(cells, groups, strict=True):
             energy_mean, energy_ci = _mean_ci([r.metrics.energy_per_bit_microjoules for r in records])
             goodput_mean, goodput_ci = _mean_ci([r.metrics.goodput_kbps for r in records])
             rows.append({
@@ -726,13 +726,13 @@ def figure9_plan(
     """Grid + aggregation for Figure 9."""
     cells = [(size, name) for size in net_sizes for name in protocols]
     specs = tuple(
-        ScenarioSpec("linear", dict(
-            num_nodes=size,
-            protocol=name,
-            transfer_bytes=transfer_bytes,
-            num_flows=2,
-            duration=duration,
-        ))
+        ScenarioSpec("linear", {
+            "num_nodes": size,
+            "protocol": name,
+            "transfer_bytes": transfer_bytes,
+            "num_flows": 2,
+            "duration": duration,
+        })
         for size, name in cells
     )
     return FigurePlan("figure9", specs, _comparison_aggregate(cells, "netSize"), plot=PLOT_SPECS["figure9"])
@@ -762,13 +762,13 @@ def figure10_plan(
     """Grid + aggregation for Figure 10."""
     cells = [(size, name) for size in net_sizes for name in protocols]
     specs = tuple(
-        ScenarioSpec("random", dict(
-            num_nodes=size,
-            protocol=name,
-            num_flows=num_flows,
-            transfer_bytes=transfer_bytes,
-            duration=duration,
-        ))
+        ScenarioSpec("random", {
+            "num_nodes": size,
+            "protocol": name,
+            "num_flows": num_flows,
+            "transfer_bytes": transfer_bytes,
+            "duration": duration,
+        })
         for size, name in cells
     )
     return FigurePlan("figure10", specs, _comparison_aggregate(cells, "netSize"), plot=PLOT_SPECS["figure10"])
@@ -800,20 +800,20 @@ def figure11_plan(
     """Grid + aggregation for Figure 11(a,b,c)."""
     cells = [(speed, name) for speed in speeds for name in protocols]
     specs = tuple(
-        ScenarioSpec("mobile", dict(
-            num_nodes=num_nodes,
-            protocol=name,
-            speed=speed,
-            num_flows=num_flows,
-            transfer_bytes=transfer_bytes,
-            duration=duration,
-        ))
+        ScenarioSpec("mobile", {
+            "num_nodes": num_nodes,
+            "protocol": name,
+            "speed": speed,
+            "num_flows": num_flows,
+            "transfer_bytes": transfer_bytes,
+            "duration": duration,
+        })
         for speed, name in cells
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for (speed, name), records in zip(cells, groups):
+        for (speed, name), records in zip(cells, groups, strict=True):
             delivered = [max(1.0, r.metrics.delivered_bytes / 800.0) for r in records]
             rtx = [r.metrics.source_retransmissions for r in records]
             recoveries = [r.metrics.cache_recoveries for r in records]
@@ -822,8 +822,8 @@ def figure11_plan(
                 "protocol": name,
                 "energy_per_bit_uJ": statistics.fmean(r.metrics.energy_per_bit_microjoules for r in records),
                 "goodput_kbps": statistics.fmean(r.metrics.goodput_kbps for r in records),
-                "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered)),
-                "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered)),
+                "source_rtx_per_kpkt": 1e3 * statistics.fmean(r / d for r, d in zip(rtx, delivered, strict=True)),
+                "cache_hits_per_kpkt": 1e3 * statistics.fmean(c / d for c, d in zip(recoveries, delivered, strict=True)),
             })
         return rows
 
@@ -872,13 +872,13 @@ def table2_plan(
     """Grid + aggregation for Table 2."""
     protocols = tuple(protocols)
     specs = tuple(
-        ScenarioSpec("testbed", dict(protocol=name, num_nodes=num_nodes, duration=duration))
+        ScenarioSpec("testbed", {"protocol": name, "num_nodes": num_nodes, "duration": duration})
         for name in protocols
     )
 
     def aggregate(groups: Sequence[Sequence[ScenarioRecord]]) -> List[Row]:
         rows: List[Row] = []
-        for name, records in zip(protocols, groups):
+        for name, records in zip(protocols, groups, strict=True):
             rows.append({
                 "protocol": name,
                 "energy_per_bit_mJ": statistics.fmean(r.metrics.energy_per_bit_millijoules for r in records),
@@ -914,7 +914,7 @@ def table2(
 # renders rows.  The raw series functions stay available unchanged.
 
 
-def figure3c_rows(**kwargs: object) -> List[Row]:
+def figure3c_rows(**kwargs: Any) -> List[Row]:
     """Figure 3(c) as tidy rows: ``protocol``, ``time``, ``attempts``.
 
     Accepts exactly the keyword arguments of :func:`figure3c`.
@@ -928,7 +928,7 @@ def figure3c_rows(**kwargs: object) -> List[Row]:
     return rows
 
 
-def figure5_rows(**kwargs: object) -> List[Row]:
+def figure5_rows(**kwargs: Any) -> List[Row]:
     """Figure 5 as tidy rows: ``variant``, ``series``, ``time``, ``rate_pps``.
 
     ``variant`` is ``with_backoff``/``without_backoff`` and ``series``
@@ -945,12 +945,12 @@ def figure5_rows(**kwargs: object) -> List[Row]:
     return rows
 
 
-def figure7_rows(**kwargs: object) -> List[Row]:
+def figure7_rows(**kwargs: Any) -> List[Row]:
     """Figure 7 rows — :func:`figure7` already returns tidy rows."""
     return figure7(**kwargs)
 
 
-def figure8_rows(**kwargs: object) -> List[Row]:
+def figure8_rows(**kwargs: Any) -> List[Row]:
     """Figure 8 as tidy rows: ``series``, ``time``, ``value``.
 
     The reception-rate and monitor series keep their names; the control
@@ -962,11 +962,12 @@ def figure8_rows(**kwargs: object) -> List[Row]:
     output = figure8(**kwargs)
     rows: List[Row] = []
     for series in ("flow1_rate", "flow2_rate", "flow1_reported_rate", "flow1_monitor_mean"):
-        rows.extend({"series": series, "time": time, "value": value} for time, value in output[series])
-    for time, lcl, ucl in output["flow1_control_limits"]:
+        points = cast(List[Tuple[float, float]], output[series])
+        rows.extend({"series": series, "time": time, "value": value} for time, value in points)
+    for time, lcl, ucl in cast(List[Tuple[float, float, float]], output["flow1_control_limits"]):
         rows.append({"series": "flow1_lcl", "time": time, "value": lcl})
         rows.append({"series": "flow1_ucl", "time": time, "value": ucl})
-    start, end = output["flow2_interval"]
+    start, end = cast(Tuple[float, float], output["flow2_interval"])
     rows.append({"series": "flow2_interval", "time": start, "value": end})
     return rows
 

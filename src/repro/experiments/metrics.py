@@ -26,7 +26,7 @@ from repro.util.units import joules_to_microjoules
 
 def jains_fairness_index(values: Sequence[float]) -> float:
     """Jain's fairness index: 1.0 is perfectly fair, 1/n maximally unfair."""
-    values = [v for v in values]
+    values = list(values)
     if not values:
         return 1.0
     total = sum(values)

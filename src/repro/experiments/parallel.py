@@ -60,7 +60,7 @@ from __future__ import annotations
 import itertools
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union, cast
 
 from repro.experiments.backends import ExecutorBackend, resolve_backend
 from repro.experiments.metrics import ScenarioMetrics
@@ -197,7 +197,7 @@ class ParallelRunner:
         self,
         workers: Optional[int] = None,
         backend: Optional[ExecutorBackend] = None,
-    ):
+    ) -> None:
         self.backend = resolve_backend(workers=workers, backend=backend)
         self.workers = self.backend.workers
 
@@ -236,9 +236,10 @@ class ParallelRunner:
         ``progress(completed, total)`` after each cell finishes (see
         :meth:`run_grids` for the delivery contract).
         """
-        grid_progress = None
+        grid_progress: Optional[Callable[[int, int, int], None]] = None
         if progress is not None:
-            grid_progress = lambda _grid, done, total: progress(done, total)
+            cell_progress = progress
+            grid_progress = lambda _grid, done, total: cell_progress(done, total)
         return self.run_grids([(specs, seeds)], progress=grid_progress)[0]
 
     def run_grids(
@@ -295,21 +296,24 @@ class ParallelRunner:
         else:
             totals = [len(grid_tasks) for grid_tasks in per_grid_tasks]
             completed = [0] * len(per_grid_tasks)
-            records = []
-            for (grid_index, _), record in zip(order, self.backend.imap(_run_task, tasks)):
+            records = cast(List[ScenarioRecord], [])
+            for (grid_index, _), record in zip(order, self.backend.imap(_run_task, tasks), strict=True):
                 records.append(record)
                 completed[grid_index] += 1
                 progress(grid_index, completed[grid_index], totals[grid_index])
         demuxed: List[List[Optional[ScenarioRecord]]] = [
             [None] * len(tasks) for tasks in per_grid_tasks
         ]
-        for (grid_index, task_index), record in zip(order, records):
+        for (grid_index, task_index), record in zip(order, records, strict=True):
             demuxed[grid_index][task_index] = record
         grouped: List[List[List[ScenarioRecord]]] = []
-        for (specs, seeds), flat in zip(grids, demuxed):
+        for (specs, seeds), flat in zip(grids, demuxed, strict=True):
             per_spec = len(seeds)
+            # Every slot was filled by the demux loop above, so the
+            # Optional placeholder type can be discharged wholesale.
+            filled = cast(List[ScenarioRecord], flat)
             grouped.append(
-                [flat[i * per_spec:(i + 1) * per_spec] for i in range(len(specs))]
+                [filled[i * per_spec:(i + 1) * per_spec] for i in range(len(specs))]
             )
         return grouped
 
@@ -342,11 +346,11 @@ class ParallelRunner:
         axes = list(grid)
         combos = list(itertools.product(*(grid[name] for name in axes)))
         specs = [
-            ScenarioSpec(scenario, {**dict(base_params or {}), **dict(zip(axes, combo))})
+            ScenarioSpec(scenario, {**dict(base_params or {}), **dict(zip(axes, combo, strict=True))})
             for combo in combos
         ]
         rows: List[Row] = []
-        for spec, records in zip(specs, self.run_grid(specs, seeds)):
+        for spec, records in zip(specs, self.run_grid(specs, seeds), strict=True):
             row: Row = {"scenario": scenario}
             row.update({name: spec.params[name] for name in axes})
             row["n"] = len(records)

@@ -145,49 +145,49 @@ METRIC_FIGURES: Tuple[FigureJob, ...] = (
     FigureJob(
         "figure3",
         "linear",
-        smoke_kwargs=dict(net_sizes=(3, 5), tolerances=(0.0, 0.10), transfer_bytes=40_000, duration=400),
+        smoke_kwargs={"net_sizes": (3, 5), "tolerances": (0.0, 0.10), "transfer_bytes": 40_000, "duration": 400},
         description="Total energy and data delivered vs. net size for jtp0/jtp10/jtp20",
     ),
     FigureJob(
         "figure4",
         "linear",
-        smoke_kwargs=dict(net_sizes=(3, 5), transfer_bytes=50_000, duration=500),
+        smoke_kwargs={"net_sizes": (3, 5), "transfer_bytes": 50_000, "duration": 500},
         description="Energy per bit, JTP vs. JNC, vs. net size (linear topologies)",
     ),
     FigureJob(
         "figure4b",
         "linear",
-        smoke_kwargs=dict(num_nodes=5, transfer_bytes=50_000, duration=500),
+        smoke_kwargs={"num_nodes": 5, "transfer_bytes": 50_000, "duration": 500},
         description="Per-node energy in a 7-node linear topology, JTP vs. JNC",
     ),
     FigureJob(
         "figure6",
         "linear",
-        smoke_kwargs=dict(cache_sizes=(2, 10), net_sizes=(5,), transfer_bytes=50_000, duration=400),
+        smoke_kwargs={"cache_sizes": (2, 10), "net_sizes": (5,), "transfer_bytes": 50_000, "duration": 400},
         description="Source retransmissions vs. in-network cache size for several net sizes",
     ),
     FigureJob(
         "figure9",
         "linear",
-        smoke_kwargs=dict(net_sizes=(3, 5), transfer_bytes=60_000, duration=400),
+        smoke_kwargs={"net_sizes": (3, 5), "transfer_bytes": 60_000, "duration": 400},
         description="Energy per bit and goodput vs. net size, JTP vs. ATP vs. TCP (linear)",
     ),
     FigureJob(
         "figure10",
         "random",
-        smoke_kwargs=dict(net_sizes=(10,), num_flows=3, transfer_bytes=30_000, duration=400),
+        smoke_kwargs={"net_sizes": (10,), "num_flows": 3, "transfer_bytes": 30_000, "duration": 400},
         description="Energy per bit and goodput on static random topologies",
     ),
     FigureJob(
         "figure11",
         "random",
-        smoke_kwargs=dict(speeds=(1.0,), num_nodes=10, num_flows=3, transfer_bytes=30_000, duration=400),
+        smoke_kwargs={"speeds": (1.0,), "num_nodes": 10, "num_flows": 3, "transfer_bytes": 30_000, "duration": 400},
         description="Energy per bit, goodput and recovery split under mobility",
     ),
     FigureJob(
         "table2",
         "random",
-        smoke_kwargs=dict(num_nodes=8, duration=300),
+        smoke_kwargs={"num_nodes": 8, "duration": 300},
         description="Testbed-like comparison over stable links with a Poisson workload",
     ),
 )
@@ -200,35 +200,35 @@ TRACE_FIGURES: Tuple[FigureJob, ...] = (
     FigureJob(
         "figure3c",
         "linear",
-        smoke_kwargs=dict(num_nodes=4, tolerances=(0.10, 0.20), transfer_bytes=40_000, duration=400),
+        smoke_kwargs={"num_nodes": 4, "tolerances": (0.10, 0.20), "transfer_bytes": 40_000, "duration": 400},
         description="Per-packet link-layer attempt bound over time at the third node",
         kind="trace",
     ),
     FigureJob(
         "figure5",
         "linear",
-        smoke_kwargs=dict(num_nodes=5, duration=300, transfer_bytes=100_000),
+        smoke_kwargs={"num_nodes": 5, "duration": 300, "transfer_bytes": 100_000},
         description="Reception-rate time series of two competing flows, back-off on/off",
         kind="trace",
     ),
     FigureJob(
         "figure7",
         "linear",
-        smoke_kwargs=dict(
-            feedback_rates=(0.1, 0.5),
-            num_nodes=5,
-            duration=300,
-            long_transfer_bytes=120_000,
-            short_transfer_bytes=15_000,
-            num_short_flows=2,
-        ),
+        smoke_kwargs={
+            "feedback_rates": (0.1, 0.5),
+            "num_nodes": 5,
+            "duration": 300,
+            "long_transfer_bytes": 120_000,
+            "short_transfer_bytes": 15_000,
+            "num_short_flows": 2,
+        },
         description="Energy and queue drops vs. feedback rate, constant vs. variable",
         kind="trace",
     ),
     FigureJob(
         "figure8",
         "linear",
-        smoke_kwargs=dict(num_nodes=4, duration=400, flow2_start=120.0, flow2_duration=120.0),
+        smoke_kwargs={"num_nodes": 4, "duration": 400, "flow2_start": 120.0, "flow2_duration": 120.0},
         description="Rate adaptation of two competing JTP flows (flip-flop monitor)",
         kind="trace",
     ),
@@ -378,7 +378,7 @@ def run_paper(
             if progress is not None:
                 names = [job.name for job, _, _ in planned]
                 totals = [len(plan.specs) * len(seed_list) for _, plan, seed_list in planned]
-                for name, total in zip(names, totals):
+                for name, total in zip(names, totals, strict=True):
                     progress(name, 0, total)
 
                 def grid_progress(grid_index: int, completed: int, total: int) -> None:
@@ -388,7 +388,7 @@ def run_paper(
                 [(plan.specs, seed_list) for _, plan, seed_list in planned],
                 progress=grid_progress,
             )
-            for (job, plan, _), groups in zip(planned, grouped):
+            for (job, plan, _), groups in zip(planned, grouped, strict=True):
                 rows_by_name[job.name] = plan.aggregate(groups)
         for job in jobs:
             if job.kind == "trace":

@@ -316,7 +316,10 @@ def load_run(directory: PathLike) -> RunResults:
         manifest = json.loads(manifest_path.read_text())
         if not isinstance(manifest, dict):
             raise ValueError(f"{manifest_path} is not a run manifest written by save_run")
-        names = [str(name) for name in manifest.get("figures", [])]
+        figures_value = manifest.get("figures", [])
+        if not isinstance(figures_value, list):
+            raise ValueError(f"{manifest_path} has a malformed figure list")
+        names = [str(name) for name in figures_value]
         missing = [name for name in names if not (directory / f"{name}.json").exists()]
         if missing:
             raise FileNotFoundError(
@@ -331,6 +334,6 @@ def load_run(directory: PathLike) -> RunResults:
             if path.name == MANIFEST_NAME:
                 continue
             payload = _read_payload(path)
-            if _payload_is_row_store(payload, path.stem):
+            if isinstance(payload, dict) and _payload_is_row_store(payload, path.stem):
                 rows[path.stem] = [dict(row) for row in payload["rows"]]
     return RunResults(directory=directory, manifest=manifest, rows=rows)

@@ -69,7 +69,7 @@ def dashed_segments(points, on: int, off: int):
     polyline joints so dashes flow continuously along the curve.
     """
     phase = 0.0
-    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+    for (x0, y0), (x1, y1) in zip(points, points[1:], strict=False):
         length = max(abs(x1 - x0), abs(y1 - y0))
         if length == 0:
             continue

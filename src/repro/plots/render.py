@@ -52,6 +52,16 @@ def matplotlib_available() -> bool:
     return True
 
 
+def backend_from_env() -> str:
+    """The ``REPRO_PLOTS_BACKEND`` override, normalised (empty = unset).
+
+    This is the single read of the variable — the documented config seam
+    (see the README env-var table); everything else asks
+    :func:`active_backend`.
+    """
+    return os.environ.get("REPRO_PLOTS_BACKEND", "").strip().lower()
+
+
 def active_backend() -> str:
     """The renderer :func:`render_figure` will use: ``"matplotlib"`` or ``"fallback"``.
 
@@ -59,7 +69,7 @@ def active_backend() -> str:
     matplotlib when it is not installed raises rather than silently
     downgrading.
     """
-    forced = os.environ.get("REPRO_PLOTS_BACKEND", "").strip().lower()
+    forced = backend_from_env()
     if forced in ("matplotlib", "mpl", "agg"):
         if not matplotlib_available():
             raise RuntimeError(
@@ -233,7 +243,7 @@ def _render_matplotlib(data: FigureData, path: Path, dpi: int) -> None:
     )
     axes_list = [axes for (axes,) in axes_array.reshape(n_panels, 1)]
     try:
-        for axes, panel in zip(axes_list, data.panels):
+        for axes, panel in zip(axes_list, data.panels, strict=True):
             n_series = max(1, len(panel.series))
             for series_index, series in enumerate(panel.series):
                 color = tuple(c / 255 for c in mini_png.palette_color(series.color_index))
@@ -460,7 +470,7 @@ def _render_fallback(data: FigureData, path: Path) -> None:
                             canvas.fill_rect(x_pixel - 2, lo, 5, 1, color)
                             canvas.fill_rect(x_pixel - 2, hi, 5, 1, color)
                 if dashes is None:
-                    for start, end in zip(points, points[1:]):
+                    for start, end in zip(points, points[1:], strict=False):
                         canvas.draw_line(*start, *end, color)
                 else:
                     for x0, y0, x1, y1 in mini_png.dashed_segments(points, *dashes):

@@ -32,6 +32,7 @@ def shortest_path_tree(graph: Graph, source: int) -> Tuple[Dict[int, float], Dic
         if node in visited:
             continue
         visited.add(node)
+        # repro: allow[DET002] dist is order-independent (unit costs); prev ties pin to the ascending insertion order connectivity_graph guarantees
         for neighbor in graph.get(node, ()):  # tolerate dangling edges
             candidate = d + 1.0
             if candidate < dist.get(neighbor, float("inf")):

@@ -98,7 +98,7 @@ class GilbertElliottLink:
     #: Sampled transitions per query before the equilibrium fast-forward.
     MAX_CATCHUP_TRANSITIONS = 64
 
-    def __init__(self, quality: LinkQuality, rng: random.Random, start_time: float = 0.0):
+    def __init__(self, quality: LinkQuality, rng: random.Random, start_time: float = 0.0) -> None:
         self.quality = quality
         self._rng = rng
         self._state = self.GOOD
@@ -186,7 +186,7 @@ class Channel:
         radio_range: float,
         rng: random.Random,
         default_quality: Optional[LinkQuality] = None,
-    ):
+    ) -> None:
         self.radio_range = require_positive(radio_range, "radio_range")
         self._positions: List[Position] = list(positions)
         self._rng = rng

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: The active core profiler, installed by :func:`repro.sim.profile.enable`
 #: (and cleared by ``disable``).  The engine only reads it — once per
@@ -71,10 +71,10 @@ class Event:
         time: float,
         seq: int,
         callback: Callable[..., Any],
-        args: Optional[tuple] = None,
-        kwargs: Optional[dict] = None,
+        args: Optional[Tuple[Any, ...]] = None,
+        kwargs: Optional[Dict[str, Any]] = None,
         sim: Optional["Simulator"] = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -321,7 +321,7 @@ class Simulator:
             self._running = False
         return processed
 
-    def _run_profiled(self, until: Optional[float], max_events: Optional[int], profiler) -> int:
+    def _run_profiled(self, until: Optional[float], max_events: Optional[int], profiler: Any) -> int:
         """The instrumented twin of :meth:`run` (identical semantics).
 
         Wraps every callback with a wall-clock measurement attributed to
@@ -332,7 +332,7 @@ class Simulator:
         """
         import time as _time
 
-        perf_counter = _time.perf_counter
+        perf_counter = _time.perf_counter  # repro: allow[DET001] wall-clock feeds the profiler report only, never simulation state
         processed = 0
         queue = self._queue
         pop = heapq.heappop

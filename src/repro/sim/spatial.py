@@ -26,9 +26,23 @@ bit-identical with the pre-index code.
 from __future__ import annotations
 
 from math import floor
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Protocol, Sequence, Set, Tuple
 
 Cell = Tuple[int, int]
+
+
+class SupportsPosition(Protocol):
+    """What a ``positions`` item must expose (structurally matches
+    :class:`repro.sim.topology.Position` without importing it — topology
+    imports this module, not the other way round)."""
+
+    @property
+    def x(self) -> float: ...
+
+    @property
+    def y(self) -> float: ...
+
+    def distance_to(self, other: Any) -> float: ...
 
 
 class SpatialGrid:
@@ -41,7 +55,7 @@ class SpatialGrid:
 
     __slots__ = ("cell_size", "_cells", "_cell_of")
 
-    def __init__(self, cell_size: float):
+    def __init__(self, cell_size: float) -> None:
         if cell_size <= 0:
             raise ValueError(f"cell_size must be positive, got {cell_size}")
         self.cell_size = cell_size
@@ -116,7 +130,7 @@ class SpatialGrid:
         candidates.sort()
         return candidates
 
-    def neighbors_within(self, node_id: int, positions: Sequence, radius: float) -> Set[int]:
+    def neighbors_within(self, node_id: int, positions: Sequence[SupportsPosition], radius: float) -> Set[int]:
         """Exact neighbour set of ``node_id``: every other node whose
         position is within ``radius`` (inclusive).
 

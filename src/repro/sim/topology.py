@@ -163,6 +163,7 @@ def is_connected(graph: Dict[int, Set[int]]) -> bool:
     stack = [start]
     while stack:
         node = stack.pop()
+        # repro: allow[DET002] visit order cannot change the reachable-node count
         for neighbor in graph[node]:
             if neighbor not in seen:
                 seen.add(neighbor)

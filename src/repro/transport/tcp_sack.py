@@ -199,7 +199,7 @@ class TcpSackSender:
         for seq in list(self._outstanding):
             if seq in sacked:
                 newly_acked.append(seq)
-        for seq in set(newly_acked):
+        for seq in sorted(set(newly_acked)):
             self._outstanding.pop(seq, None)
             self._sent_time.pop(seq, None)
             self._miss_counts.pop(seq, None)
@@ -208,6 +208,7 @@ class TcpSackSender:
         # Fast-retransmit style loss detection: a hole below the highest
         # SACKed sequence accumulates "misses"; after the dup-ack
         # threshold it is declared lost and retransmitted.
+        # repro: allow[DET002] max over ints is order-independent (total order)
         highest_sacked = max(sacked) if sacked else ack.cumulative_ack
         for seq in list(self._outstanding):
             if seq < highest_sacked and seq not in sacked:

@@ -21,7 +21,7 @@ class EWMA:
     average, exactly as in Equation (7) of the paper.
     """
 
-    def __init__(self, alpha: float, initial: Optional[float] = None):
+    def __init__(self, alpha: float, initial: Optional[float] = None) -> None:
         self.alpha = require_in_range(alpha, 0.0, 1.0, "alpha")
         self._value: Optional[float] = initial
         self._count = 0 if initial is None else 1
@@ -71,7 +71,7 @@ class WindowedRate:
     the divisor, since no span-based rate is defined yet.
     """
 
-    def __init__(self, window: float, start: Optional[float] = None):
+    def __init__(self, window: float, start: Optional[float] = None) -> None:
         self.window = require_positive(window, "window")
         self._events: Deque[Tuple[float, float]] = deque()
         self._total = 0.0

@@ -24,8 +24,8 @@ from repro.experiments.parallel import ParallelRunner, ScenarioSpec
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-SMALL_LINEAR = dict(num_nodes=3, transfer_bytes=8_000, num_flows=1, duration=150)
-TINY_FIGURE = dict(net_sizes=(3,), tolerances=(0.0,), seeds=(1, 2), transfer_bytes=4_000, duration=80)
+SMALL_LINEAR = {"num_nodes": 3, "transfer_bytes": 8_000, "num_flows": 1, "duration": 150}
+TINY_FIGURE = {"net_sizes": (3,), "tolerances": (0.0,), "seeds": (1, 2), "transfer_bytes": 4_000, "duration": 80}
 
 
 def _pid(_index):
@@ -85,7 +85,7 @@ class TestImapOrdering:
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("requires the fork start method")
         with ProcessBackend(workers=2) as backend:
-            doubler = lambda value: value * 2  # noqa: E731
+            doubler = lambda value: value * 2
             assert list(backend.imap(doubler, [1, 2, 3])) == [2, 4, 6]
 
     def test_process_imap_recovers_from_a_pool_broken_between_batches(self):
@@ -210,7 +210,7 @@ class TestProcessBackendLifecycle:
     def test_unpicklable_builder_falls_back_on_fork_platforms(self):
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("requires the fork start method")
-        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)  # noqa: E731
+        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)
         with ProcessBackend(workers=2) as backend:
             records = ParallelRunner(backend=backend).replicate(builder, [1, 2])
             # The fallback uses a one-shot forked pool: correct results,

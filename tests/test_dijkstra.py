@@ -42,6 +42,16 @@ def test_shortest_path_tree_distances():
     assert prev[3] == 2
 
 
+def test_tree_tie_break_is_deterministic():
+    # The documented contract behind the `repro: allow[DET002]` pragma in
+    # dijkstra.py: with equal-cost predecessors (0→1→3 vs 0→2→3) the
+    # first-popped, lowest-id parent wins, and repeated runs agree exactly.
+    runs = [shortest_path_tree(SQUARE, 0) for _ in range(5)]
+    assert all(run == runs[0] for run in runs)
+    dist, prev = runs[0]
+    assert prev[3] == 1
+
+
 def test_tree_unknown_source_rejected():
     with pytest.raises(KeyError):
         shortest_path_tree(LINE, 99)
@@ -56,7 +66,7 @@ def test_next_hop_table_on_line():
 
 def test_next_hop_never_self_and_is_neighbor():
     table = next_hop_table(SQUARE, 0)
-    for dst, hop in table.items():
+    for hop in table.values():
         assert hop != 0
         assert hop in SQUARE[0]
 

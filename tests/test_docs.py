@@ -110,7 +110,7 @@ class TestListFiguresCli:
 
         assert main(["--list-figures"]) == 0
         output = capsys.readouterr().out
-        for name, kind, description in figure_index():
+        for name, _kind, description in figure_index():
             assert name in output
             assert description in output
 

@@ -153,6 +153,14 @@ class TestReport:
         assert "a" in lines[1] and "b" in lines[1]
         assert len(lines) == 5
 
+    def test_format_table_column_order_is_the_first_rows_insertion_order(self):
+        # The documented contract behind the `repro: allow[DET002]` pragma
+        # in report.py: default columns come from the first row's dict, in
+        # insertion order, not from any sorted or hash order.
+        rows = [{"zeta": 1, "alpha": 2, "mid": 3}, {"alpha": 5, "zeta": 4, "mid": 6}]
+        header = format_table(rows).splitlines()[0].split()
+        assert header == ["zeta", "alpha", "mid"]
+
     def test_format_table_empty(self):
         assert "(no rows)" in format_table([])
 

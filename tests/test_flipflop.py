@@ -9,7 +9,7 @@ from repro.core.flipflop import FlipFlopFilter
 
 
 def make_filter(**overrides):
-    defaults = dict(alpha_stable=0.1, alpha_agile=0.6, beta=0.1, outlier_trigger_count=3)
+    defaults = {"alpha_stable": 0.1, "alpha_agile": 0.6, "beta": 0.1, "outlier_trigger_count": 3}
     defaults.update(overrides)
     return FlipFlopFilter(**defaults)
 

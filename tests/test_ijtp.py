@@ -174,5 +174,5 @@ class TestInstallation:
         network = Network.linear(4, seed=0, link_quality=LinkQuality.perfect())
         modules = install_ijtp_everywhere(network)
         assert len(modules) == 4
-        for node, module in zip(network.nodes, modules):
+        for node, module in zip(network.nodes, modules, strict=True):
             assert module.pre_transmit in node.mac.pre_transmit_hooks

@@ -31,7 +31,7 @@ def test_nodes_move_over_time():
     mobility.start(sim)
     sim.run(until=300.0)
     after = [channel.position_of(i) for i in range(channel.num_nodes)]
-    moved = sum(1 for b, a in zip(before, after) if b != a)
+    moved = sum(1 for b, a in zip(before, after, strict=True) if b != a)
     assert moved >= channel.num_nodes - 1
 
 

@@ -7,10 +7,10 @@ from repro.core.packet import AckInfo, Packet, PacketCodec, PacketType
 
 
 def make_data_packet(**overrides):
-    defaults = dict(flow_id=1, seq=7, packet_type=PacketType.DATA, src=0, dst=4,
-                    payload_bytes=800.0, header_bytes=28.0, loss_tolerance=0.1,
-                    energy_budget=0.05, energy_used=0.01, available_rate_pps=3.5,
-                    timestamp=12.5)
+    defaults = {"flow_id": 1, "seq": 7, "packet_type": PacketType.DATA, "src": 0, "dst": 4,
+                    "payload_bytes": 800.0, "header_bytes": 28.0, "loss_tolerance": 0.1,
+                    "energy_budget": 0.05, "energy_used": 0.01, "available_rate_pps": 3.5,
+                    "timestamp": 12.5}
     defaults.update(overrides)
     return Packet(**defaults)
 

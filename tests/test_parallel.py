@@ -1,6 +1,7 @@
 """Parallel replication: records, specs, determinism, sweeps."""
 
 import pickle
+from typing import ClassVar, List, Tuple
 
 import pytest
 
@@ -14,7 +15,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import replicate, summarize
 from repro.experiments.scenarios import ScenarioResult
 
-SMALL_LINEAR = dict(num_nodes=3, transfer_bytes=10_000, num_flows=1, duration=200)
+SMALL_LINEAR = {"num_nodes": 3, "transfer_bytes": 10_000, "num_flows": 1, "duration": 200}
 
 
 class TestScenarioSpec:
@@ -99,7 +100,7 @@ class TestParallelRunner:
 
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("requires the fork start method")
-        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)  # noqa: E731
+        builder = lambda seed: ScenarioSpec("linear", SMALL_LINEAR)(seed)
         records = ParallelRunner(workers=2).replicate(builder, [1, 2])
         assert [r.seed for r in records] == [1, 2]
         assert records == ParallelRunner(workers=1).replicate(builder, [1, 2])
@@ -111,14 +112,14 @@ class TestParallelRunner:
         ]
         per_spec = ParallelRunner(workers=2).run_grid(specs, [1, 2])
         assert len(per_spec) == 2
-        for spec, records in zip(specs, per_spec):
+        for spec, records in zip(specs, per_spec, strict=True):
             assert [r.seed for r in records] == [1, 2]
             assert all(r.metrics.num_nodes == spec.params["num_nodes"] for r in records)
 
 
 class TestRunGrids:
-    GRID_A = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
-    GRID_B = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
+    GRID_A: ClassVar[List[ScenarioSpec]] = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
+    GRID_B: ClassVar[List[ScenarioSpec]] = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
 
     def test_batched_submission_matches_per_grid_bit_identically(self):
         # Uneven grids (different spec counts *and* seed counts) so the
@@ -141,7 +142,7 @@ class TestRunGrids:
     def test_batched_groups_align_with_their_grids(self):
         batched = ParallelRunner(workers=1).run_grids([(self.GRID_A, [1, 2]), (self.GRID_B, [3])])
         assert [len(groups) for groups in batched] == [2, 1]
-        for spec, records in zip(self.GRID_A, batched[0]):
+        for spec, records in zip(self.GRID_A, batched[0], strict=True):
             assert [r.seed for r in records] == [1, 2]
             assert all(r.metrics.num_nodes == spec.params["num_nodes"] for r in records)
         assert [r.seed for r in batched[1][0]] == [3]
@@ -155,9 +156,9 @@ class TestRunGrids:
 
 
 class TestProgress:
-    GRID_A = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
-    GRID_B = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
-    GRIDS = [(GRID_A, [1, 2]), (GRID_B, [3])]
+    GRID_A: ClassVar[List[ScenarioSpec]] = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
+    GRID_B: ClassVar[List[ScenarioSpec]] = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=5))]
+    GRIDS: ClassVar[List[Tuple[List[ScenarioSpec], List[int]]]] = [(GRID_A, [1, 2]), (GRID_B, [3])]
 
     def test_progress_reports_every_cell_in_submission_order(self):
         events = []
@@ -216,7 +217,7 @@ class TestSweep:
             "linear",
             grid={"num_nodes": (3, 4), "protocol": ("jtp",)},
             seeds=[1, 2],
-            base_params=dict(transfer_bytes=10_000, num_flows=1, duration=200),
+            base_params={"transfer_bytes": 10_000, "num_flows": 1, "duration": 200},
         )
         assert len(rows) == 2
         for row in rows:
@@ -233,7 +234,7 @@ class TestSweep:
             "linear",
             grid={"num_nodes": (3,)},
             seeds=2,
-            base_params=dict(transfer_bytes=10_000, num_flows=1, duration=200),
+            base_params={"transfer_bytes": 10_000, "num_flows": 1, "duration": 200},
         )
         assert rows[0]["n"] == 2
 

@@ -1,6 +1,7 @@
 """Paper-scale presets and the run_paper driver."""
 
 import pytest
+from typing import ClassVar, Dict, Set
 
 from repro.experiments.backends import SerialBackend
 from repro.experiments.parallel import spawn_seeds
@@ -150,11 +151,11 @@ class TestRunPaper:
             assert row["goodput_kbps"] > 0
 
     def test_results_are_backend_independent(self):
-        kwargs = dict(
-            figures=["figure4b"],
-            seeds="smoke",
-            overrides={"figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80)},
-        )
+        kwargs = {
+            "figures": ["figure4b"],
+            "seeds": "smoke",
+            "overrides": {"figure4b": {"num_nodes": 3, "transfer_bytes": 4_000, "duration": 80}},
+        }
         serial = run_paper(backend=SerialBackend(), **kwargs)
         pooled = run_paper(workers=2, **kwargs)
         assert pooled == serial
@@ -170,10 +171,10 @@ class TestRunPaper:
         from repro.experiments import figures
 
         overrides = {
-            "figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80),
-            "table2": dict(num_nodes=6, duration=120),
+            "figure4b": {"num_nodes": 3, "transfer_bytes": 4_000, "duration": 80},
+            "table2": {"num_nodes": 6, "duration": 120},
         }
-        kwargs = dict(seeds="smoke", overrides=overrides)
+        kwargs = {"seeds": "smoke", "overrides": overrides}
         combined = run_paper(figures=["figure4b", "table2"], backend=SerialBackend(), **kwargs)
         alone_4b = run_paper(figures=["figure4b"], backend=SerialBackend(), **kwargs)
         alone_t2 = run_paper(figures=["table2"], backend=SerialBackend(), **kwargs)
@@ -191,7 +192,7 @@ class TestRunPaper:
             figures=["table2"],
             seeds="smoke",
             backend=SerialBackend(),
-            overrides={"table2": dict(num_nodes=6, duration=120)},
+            overrides={"table2": {"num_nodes": 6, "duration": 120}},
             out_dir=tmp_path / "run",
         )
         stored = load_run(tmp_path / "run")
@@ -204,10 +205,10 @@ class TestRunPaper:
 
 
 class TestRunPaperProgress:
-    OVERRIDES = {
-        "figure4b": dict(num_nodes=3, transfer_bytes=4_000, duration=80),
-        "table2": dict(num_nodes=6, duration=120),
-        "figure3c": dict(num_nodes=4, transfer_bytes=8_000, duration=80),
+    OVERRIDES: ClassVar[Dict[str, Dict[str, object]]] = {
+        "figure4b": {"num_nodes": 3, "transfer_bytes": 4_000, "duration": 80},
+        "table2": {"num_nodes": 6, "duration": 120},
+        "figure3c": {"num_nodes": 4, "transfer_bytes": 8_000, "duration": 80},
     }
 
     def run(self, **kwargs):
@@ -252,7 +253,7 @@ class TestRunPaperProgress:
 
 class TestRunPaperTraceFigures:
     #: The stable row schema of each serial trace figure's adapter.
-    EXPECTED_KEYS = {
+    EXPECTED_KEYS: ClassVar[Dict[str, Set[str]]] = {
         "figure3c": {"protocol", "time", "attempts"},
         "figure5": {"variant", "series", "time", "rate_pps"},
         "figure7": {"feedback", "feedback_rate_pps", "energy_mJ", "queue_drops", "acks", "delivered_fraction"},

@@ -122,7 +122,7 @@ class TestConvergenceModel:
         """
         trajectory = simulate_rate_convergence(capacity, initial, ki=ki, kd=kd, iterations=50)
         rates = trajectory.rates
-        for before, after in zip(rates, rates[1:]):
+        for before, after in zip(rates, rates[1:], strict=False):
             same_region = (before < capacity and after <= capacity) or (before > capacity and after >= capacity)
             if same_region:
                 assert abs(capacity - after) <= abs(capacity - before) + 1e-9

@@ -140,7 +140,7 @@ class TestEndToEnd:
         losses = [0.4, 0.5, 0.3, 0.6]
         strict, _ = plan_hop_attempts(0.0, losses, max_attempts=10)
         relaxed, _ = plan_hop_attempts(0.3, losses, max_attempts=10)
-        assert all(r <= s for r, s in zip(relaxed, strict))
+        assert all(r <= s for r, s in zip(relaxed, strict, strict=True))
 
 
 class TestFusedHotPath:

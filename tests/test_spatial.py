@@ -71,7 +71,7 @@ class TestSpatialGrid:
         points = [(rng.uniform(0, 200), rng.uniform(0, 200)) for _ in range(120)]
         for node_id, (x, y) in enumerate(points):
             grid.insert(node_id, x, y)
-        for node_id, (x, y) in enumerate(points):
+        for x, y in points:
             candidates = set(grid.near(x, y))
             for other, (ox, oy) in enumerate(points):
                 if ((x - ox) ** 2 + (y - oy) ** 2) ** 0.5 <= 25.0:

@@ -64,6 +64,26 @@ class TestTcpSack:
         network, flow = run_protocol(TcpSackProtocol(config))
         assert flow.sender.rto >= 1.0
 
+    def test_lossy_run_is_bit_identical_across_repeats(self):
+        # Pins the sorted() discharge of newly-ACKed sequences in
+        # tcp_sack.on_packet: under loss (SACK blocks in play) the same
+        # seed must reproduce exactly the same sender state and stats.
+        quality = LinkQuality(good_loss=0.1, bad_loss=0.5, bad_fraction=0.1)
+
+        def signature():
+            network, flow = run_protocol(TcpSackProtocol(), duration=900, quality=quality)
+            sender = flow.sender
+            return (
+                flow.delivered_fraction,
+                sender.rate_pps,
+                sender.rto,
+                sender.loss_events,
+                flow.stats.acks_sent,
+                flow.stats.data_packets_delivered,
+            )
+
+        assert signature() == signature()
+
 
 class TestAtp:
     def test_transfer_completes(self):

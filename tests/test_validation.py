@@ -56,3 +56,50 @@ def test_clamp_inside_and_outside():
 def test_clamp_rejects_inverted_bounds():
     with pytest.raises(ValueError):
         clamp(1, 10, 0)
+
+
+class TestErrorMessages:
+    """Each rejection names the offending parameter and echoes the value,
+    so a failed constructor points straight at the bad argument."""
+
+    def test_require_positive_names_parameter_and_value(self):
+        with pytest.raises(ValueError, match=r"window must be positive, got -2\.5"):
+            require_positive(-2.5, "window")
+
+    def test_require_non_negative_names_parameter_and_value(self):
+        with pytest.raises(ValueError, match=r"delay must be non-negative, got -1"):
+            require_non_negative(-1, "delay")
+
+    def test_require_probability_names_bounds(self):
+        with pytest.raises(ValueError, match=r"loss must be in \[0, 1\], got 1\.5"):
+            require_probability(1.5, "loss")
+
+    def test_require_in_range_names_bounds(self):
+        with pytest.raises(ValueError, match=r"alpha must be in \[0\.0, 1\.0\], got 7"):
+            require_in_range(7, 0.0, 1.0, "alpha")
+
+    def test_clamp_error_names_both_bounds(self):
+        with pytest.raises(ValueError, match=r"low=10 > high=0"):
+            clamp(1, 10, 0)
+
+
+class TestBoundaries:
+    """The closed-interval checks accept their exact endpoints and the
+    validators return the value unchanged (same object for ints)."""
+
+    def test_require_in_range_accepts_endpoints(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_validators_pass_value_through_unchanged(self):
+        assert require_positive(1e-12, "x") == 1e-12
+        assert require_non_negative(0, "x") == 0
+        assert require_probability(1.0, "p") == 1.0
+
+    def test_require_positive_rejects_exact_zero_float(self):
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_clamp_with_equal_bounds_collapses(self):
+        assert clamp(-3, 2, 2) == 2
+        assert clamp(7, 2, 2) == 2
