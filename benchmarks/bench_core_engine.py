@@ -42,7 +42,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from conftest import bench_no_assert, events_per_sec_report
+from conftest import bench_host, bench_no_assert, events_per_sec_report
 
 from repro.sim.engine import Simulator
 
@@ -202,6 +202,7 @@ def test_core_engine_throughput(benchmark):
     baseline = committed.get("baseline", {})
     record = {
         "bench": "core_engine",
+        "host": bench_host(),
         "workloads": {
             "engine_churn": {"timers": CHURN_TIMERS, "duration": CHURN_DURATION},
             "linear": LINEAR_PARAMS,

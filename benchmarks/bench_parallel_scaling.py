@@ -38,10 +38,10 @@ import os
 import time
 from pathlib import Path
 
-from conftest import bench_no_assert
+from conftest import bench_host, bench_no_assert
 
 from repro.experiments import figures
-from repro.experiments.backends import ProcessBackend, SerialBackend, ThreadBackend
+from repro.experiments.backends import AsyncBackend, ProcessBackend, SerialBackend, ThreadBackend
 from repro.experiments.parallel import ParallelRunner, ScenarioSpec, spawn_seeds
 from repro.experiments.runner import summarize
 
@@ -116,10 +116,13 @@ def test_parallel_scaling(benchmark):
         serial_records = _run_reuse_calls(ParallelRunner(backend=SerialBackend()), reuse_seeds)
         with ThreadBackend(workers=pool_workers) as backend:
             thread_records = _run_reuse_calls(ParallelRunner(backend=backend), reuse_seeds)
+        with AsyncBackend(workers=pool_workers) as backend:
+            async_records = _run_reuse_calls(ParallelRunner(backend=backend), reuse_seeds)
 
         # Cross-backend invariant: bit-identical records everywhere.
         assert pooled_records == serial_records, "process backend changed the records"
         assert thread_records == serial_records, "thread backend changed the records"
+        assert async_records == serial_records, "async scheduler changed the records"
         assert throwaway_records == serial_records, "throwaway pools changed the records"
 
         # 3. Batched multi-figure submission (the run_paper path) must
@@ -160,6 +163,7 @@ def test_parallel_scaling(benchmark):
         "scenario": dict(SCENARIO.params, scenario=SCENARIO.scenario),
         "num_seeds": NUM_SEEDS,
         "cpu_count": usable_cpus,
+        "host": bench_host(),
         "wall_clock_s": {str(w): round(wall_clock[w], 4) for w in WORKER_COUNTS},
         "speedup_vs_serial": {
             str(w): round(wall_clock[1] / wall_clock[w], 3) for w in WORKER_COUNTS

@@ -92,6 +92,24 @@ def bench_no_assert() -> bool:
     return bool(os.environ.get("REPRO_BENCH_NO_ASSERT", "").strip())
 
 
+def bench_host() -> dict:
+    """Where a bench record was measured: ``{"hostname", "cpu_count"}``.
+
+    Embedded in every committed ``BENCH_*.json`` so a number recorded
+    on a 1-CPU container is self-describing — a reader (or a CI
+    comparison) can see at a glance that e.g. process-pool speedups
+    from such a host say nothing about real hardware.  ``cpu_count``
+    honours cgroup/affinity limits where the platform exposes them.
+    """
+    import platform
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        cpus = os.cpu_count() or 1
+    return {"hostname": platform.node(), "cpu_count": cpus}
+
+
 def bench_run_dir() -> Optional[Path]:
     """Run directory for persisted bench rows (``REPRO_RUN_DIR``), or ``None``."""
     value = os.environ.get("REPRO_RUN_DIR", "").strip()

@@ -9,8 +9,9 @@
   seeds and aggregates with confidence intervals;
 * :mod:`repro.experiments.backends` — pluggable executor backends
   (:class:`SerialBackend`, the persistent shared :class:`ProcessBackend`
-  pool, :class:`ThreadBackend`, and the :class:`AsyncBackend` stub for
-  the future multi-machine executor);
+  pool, :class:`ThreadBackend`, and :class:`AsyncBackend`, the asyncio
+  scheduler with backpressure, work stealing and retry over a pool of
+  worker processes — ``docs/distributed.md``);
 * :mod:`repro.experiments.parallel` — :class:`ParallelRunner` fans
   replications and parameter sweeps out over a backend, returning
   picklable :class:`ScenarioRecord` summaries (bit-identical aggregates

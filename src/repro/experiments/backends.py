@@ -25,10 +25,16 @@ execution strategy into a first-class object:
   simulator is pure Python, so threads serialise on the GIL and this
   backend exists mainly to pin the API (and the bit-identity invariant)
   for executors that share the caller's address space.
-* :class:`AsyncBackend` — a stub reserving the API for the planned
-  multi-machine/async backend (ROADMAP).  Construction works and
-  carries the future endpoint configuration; :meth:`~AsyncBackend.map`
-  raises :class:`NotImplementedError` until a scheduler exists.
+* :class:`AsyncBackend` — an asyncio dispatcher over a pool of
+  persistent worker processes (:mod:`repro.experiments.scheduler`).
+  Cells are sharded across workers behind a bounded in-flight window
+  (backpressure against a slow consumer), stragglers are work-stolen
+  by idle workers, and crashed / raising / hung cells are retried with
+  capped exponential backoff before the batch fails loudly with
+  :class:`~repro.experiments.scheduler.AsyncCellError`.  Same ordered
+  ``map``/``imap`` contract, same bit-identical aggregates, for every
+  worker count.  See ``docs/distributed.md`` for the architecture and
+  every knob.
 
 Module helpers:
 
@@ -42,6 +48,11 @@ Module helpers:
   shared :class:`ProcessBackend`.
 * :func:`workers_from_env` — ``REPRO_WORKERS`` plumbing shared by the
   benchmark harness and the examples (``0`` means the serial backend).
+* :func:`async_workers_from_env` / :func:`async_retries_from_env` /
+  :func:`async_timeout_from_env` — the :class:`AsyncBackend` env seams
+  (``REPRO_ASYNC_WORKERS``, ``REPRO_ASYNC_RETRIES``,
+  ``REPRO_ASYNC_TIMEOUT``), applied when the corresponding constructor
+  argument is left unset.
 
 Every backend must preserve the harness invariant: because each
 simulation run is fully determined by its seed and results come back in
@@ -69,6 +80,8 @@ from concurrent.futures.process import BrokenProcessPool
 from types import TracebackType
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, TypeVar
 
+from repro.experiments.scheduler import AsyncCellError, AsyncScheduler
+
 _T = TypeVar("_T")
 
 __all__ = [
@@ -77,12 +90,16 @@ __all__ = [
     "ProcessBackend",
     "ThreadBackend",
     "AsyncBackend",
+    "AsyncCellError",
     "BACKENDS",
     "make_backend",
     "resolve_backend",
     "shared_backend",
     "close_shared_backends",
     "workers_from_env",
+    "async_workers_from_env",
+    "async_retries_from_env",
+    "async_timeout_from_env",
 ]
 
 
@@ -101,6 +118,55 @@ def workers_from_env(default: Optional[int] = None) -> Optional[int]:
     if workers < 0:
         raise ValueError(f"REPRO_WORKERS must be >= 0, got {workers}")
     return workers
+
+
+def async_workers_from_env(default: Optional[int] = None) -> Optional[int]:
+    """Worker-process count for :class:`AsyncBackend` via ``REPRO_ASYNC_WORKERS``.
+
+    Unset (or empty) returns ``default``.  Unlike ``REPRO_WORKERS``
+    there is no serial-fallback zero: the async backend always runs its
+    scheduler, so the value must be >= 1.
+    """
+    value = os.environ.get("REPRO_ASYNC_WORKERS", "").strip()
+    if not value:
+        return default
+    workers = int(value)
+    if workers < 1:
+        raise ValueError(f"REPRO_ASYNC_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
+def async_retries_from_env(default: int = 2) -> int:
+    """Retry budget for :class:`AsyncBackend` cells via ``REPRO_ASYNC_RETRIES``.
+
+    The number of *additional* attempts a failed cell gets (crash,
+    exception or timeout) before the batch fails with
+    :class:`~repro.experiments.scheduler.AsyncCellError`.  ``0``
+    disables retries; unset (or empty) returns ``default``.
+    """
+    value = os.environ.get("REPRO_ASYNC_RETRIES", "").strip()
+    if not value:
+        return default
+    retries = int(value)
+    if retries < 0:
+        raise ValueError(f"REPRO_ASYNC_RETRIES must be >= 0, got {retries}")
+    return retries
+
+
+def async_timeout_from_env(default: Optional[float] = None) -> Optional[float]:
+    """Per-cell timeout (seconds) for :class:`AsyncBackend` via ``REPRO_ASYNC_TIMEOUT``.
+
+    A cell running longer than this is killed (its worker is respawned)
+    and retried.  ``0`` (or a negative value) disables the timeout;
+    unset (or empty) returns ``default``.
+    """
+    value = os.environ.get("REPRO_ASYNC_TIMEOUT", "").strip()
+    if not value:
+        return default
+    timeout = float(value)
+    if timeout <= 0:
+        return None
+    return timeout
 
 
 class ExecutorBackend(ABC):
@@ -122,6 +188,16 @@ class ExecutorBackend(ABC):
     name: str = "abstract"
     #: Degree of parallelism this backend was configured for.
     workers: int = 1
+    #: Monotonic count of items accepted through :meth:`map`/:meth:`imap`
+    #: over this backend's lifetime.  Internal recovery re-runs and
+    #: scheduler-level retries do **not** count: the number reflects the
+    #: caller-visible task load, which is what the resume tests use to
+    #: prove that cached cells were loaded rather than re-simulated.
+    tasks_submitted: int = 0
+
+    def _record_submission(self, count: int) -> None:
+        """Bump :attr:`tasks_submitted` (subclasses call this once per batch)."""
+        self.tasks_submitted += count
 
     @abstractmethod
     def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
@@ -180,10 +256,14 @@ class SerialBackend(ExecutorBackend):
         self.workers = 1
 
     def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
+        items = list(items)
+        self._record_submission(len(items))
         return [fn(item) for item in items]
 
     def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """True streaming: each task runs when its result is consumed."""
+        items = list(items)
+        self._record_submission(len(items))
         return (fn(item) for item in items)
 
 
@@ -261,6 +341,7 @@ class _PooledBackend(ExecutorBackend):
 
     def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         items = list(items)
+        self._record_submission(len(items))
         if not items:
             return []
         return list(self._ensure_pool().map(fn, items))
@@ -268,6 +349,7 @@ class _PooledBackend(ExecutorBackend):
     def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
         """Stream results in submission order as workers complete them."""
         items = list(items)
+        self._record_submission(len(items))
         if not items:
             return iter(())
         # Executor.map already yields lazily and in order.
@@ -312,6 +394,11 @@ class ProcessBackend(_PooledBackend):
 
     def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
         items = list(items)
+        self._record_submission(len(items))
+        return self._map_batch(fn, items)
+
+    def _map_batch(self, fn: Callable[[Any], _T], items: List[Any]) -> List[_T]:
+        """The :meth:`map` body, minus submission accounting (shared with imap recovery)."""
         if not items:
             return []
         # Pre-flight the whole payload: falling back *after* the pool
@@ -348,6 +435,7 @@ class ProcessBackend(_PooledBackend):
         is bit-identical and only the not-yet-yielded tail is delivered.
         """
         items = list(items)
+        self._record_submission(len(items))
 
         def generate() -> Iterator[_T]:
             if not items:
@@ -366,7 +454,7 @@ class ProcessBackend(_PooledBackend):
                     yielded += 1
             except BrokenProcessPool:
                 self.close()
-                yield from self.map(fn, items)[yielded:]
+                yield from self._map_batch(fn, items)[yielded:]
 
         return generate()
 
@@ -401,8 +489,8 @@ class ThreadBackend(_PooledBackend):
     this backend brings no speedup today.  It exists to pin the backend
     API (lazy start, reuse, close/restart, ordered results,
     bit-identical aggregates) for executors that share the caller's
-    address space — the template the future multi-machine/async backend
-    builds on.
+    address space — the template :class:`AsyncBackend`'s scheduler was
+    built against.
     """
 
     name = "thread"
@@ -415,32 +503,115 @@ class ThreadBackend(_PooledBackend):
 
 
 class AsyncBackend(ExecutorBackend):
-    """Placeholder for the multi-machine / async backend named in ROADMAP.
+    """An asyncio dispatcher over a pool of persistent worker processes.
 
-    The constructor pins down the configuration surface (an ``endpoint``
-    naming the remote scheduler plus a parallelism hint) and the class
-    participates fully in the backend protocol — construction, context
-    management and :meth:`close` all work — but :meth:`map` raises
-    :class:`NotImplementedError` until a scheduler exists (and with it
-    the inherited :meth:`~ExecutorBackend.imap`, which delegates to
-    :meth:`map`).  Tests assert this exact behaviour so the API cannot
-    drift before the implementation lands.  Do **not** pass an
-    ``AsyncBackend`` to ``run_paper``/figure calls expecting execution;
-    it exists so configuration plumbing can be built and tested ahead
-    of the scheduler.
+    The distributed-execution backend from ROADMAP, implemented: one
+    dispatch coroutine (:class:`~repro.experiments.scheduler.AsyncScheduler`)
+    shards each batch across ``workers`` long-lived worker processes
+    behind a bounded in-flight ``window`` (backpressure against a slow
+    ``imap`` consumer), work-steals stragglers onto idle workers, and
+    retries crashed, raising or hung cells with capped exponential
+    backoff — respawning dead workers as it goes.  A cell that exhausts
+    ``max_retries`` fails the whole batch with a
+    :class:`~repro.experiments.scheduler.AsyncCellError` naming every
+    failed cell, so a result grid can never contain a silent hole.
+
+    The :class:`ExecutorBackend` contract is fully preserved: results
+    come back in item order (``imap`` streams them as the submission
+    frontier completes), the pool starts lazily, :meth:`close` is
+    idempotent with lazy restart, and aggregates are bit-identical to
+    :class:`SerialBackend` for every worker count — retries and steals
+    re-run pure seed-determined simulations, never reorder delivery.
+
+    ``endpoint`` is reserved for a future remote scheduler (workers on
+    other machines); today it is carried but unused — all workers are
+    local child processes.  Payloads must be picklable (there is no
+    fork-inherit fallback like :class:`ProcessBackend`'s): unpicklable
+    payloads raise :class:`TypeError` up front.
+
+    Constructor arguments left at ``None`` fall back to the env seams:
+    ``workers`` to ``REPRO_ASYNC_WORKERS`` (then ``os.cpu_count()``),
+    ``max_retries`` to ``REPRO_ASYNC_RETRIES`` (default 2), and
+    ``task_timeout`` to ``REPRO_ASYNC_TIMEOUT`` (default: no timeout).
+    ``window`` defaults to ``2 * workers`` and is clamped to at least
+    ``workers``; ``steal_after`` is the straggler age (seconds) before
+    an idle worker duplicates it.  ``stats`` exposes cumulative
+    scheduler counters (``retries``, ``steals``, ``respawns``,
+    ``timeouts``, ``failures``) for tests and diagnostics.  See
+    ``docs/distributed.md`` for the full architecture notes.
     """
 
     name = "async"
 
-    def __init__(self, endpoint: Optional[str] = None, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        workers: Optional[int] = None,
+        *,
+        window: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 2.0,
+        task_timeout: Optional[float] = None,
+        steal_after: float = 0.25,
+    ) -> None:
         self.endpoint = endpoint
+        if workers is None:
+            workers = async_workers_from_env()
         self.workers = _positive_workers(workers)
+        if max_retries is None:
+            max_retries = async_retries_from_env(2)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is None:
+            task_timeout = async_timeout_from_env(None)
+        if window is None:
+            window = 2 * self.workers
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._scheduler = AsyncScheduler(
+            workers=self.workers,
+            window=window,
+            max_retries=max_retries,
+            retry_base_delay=retry_base_delay,
+            retry_max_delay=retry_max_delay,
+            task_timeout=task_timeout,
+            steal_after=steal_after,
+        )
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cumulative scheduler counters: retries, steals, respawns, timeouts, failures."""
+        return self._scheduler.stats
+
+    @property
+    def is_running(self) -> bool:
+        return self._scheduler.is_running
+
+    def worker_pids(self) -> FrozenSet[int]:
+        """PIDs of the live worker processes (empty before first use / after close)."""
+        return self._scheduler.worker_pids()
+
+    def close(self) -> None:
+        self._scheduler.close()
 
     def map(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> List[_T]:
-        raise NotImplementedError(
-            "AsyncBackend is an API placeholder for the multi-machine backend; "
-            "use SerialBackend, ProcessBackend or ThreadBackend to execute work"
-        )
+        return list(self.imap(fn, items))
+
+    def imap(self, fn: Callable[[Any], _T], items: Iterable[Any]) -> Iterator[_T]:
+        """Stream results in item order as the submission frontier completes."""
+        items = list(items)
+        self._record_submission(len(items))
+        if not items:
+            return iter(())
+        try:
+            pickle.dumps((fn, items))
+        except Exception:
+            raise TypeError(
+                "AsyncBackend payloads must be picklable (workers are separate "
+                "processes); use a picklable builder such as ScenarioSpec"
+            ) from None
+        return self._scheduler.start(fn, items).results()
 
 
 def _serial_factory(workers: Optional[int] = None) -> SerialBackend:

@@ -246,6 +246,12 @@ class ParallelRunner:
         self,
         grids: Sequence[Tuple[Sequence[Callable[[int], ScenarioResult]], Sequence[int]]],
         progress: Optional[Callable[[int, int, int], None]] = None,
+        reuse: Optional[
+            Callable[[int, Callable[[int], ScenarioResult], int], Optional[ScenarioRecord]]
+        ] = None,
+        on_result: Optional[
+            Callable[[int, Callable[[int], ScenarioResult], int, ScenarioRecord], None]
+        ] = None,
     ) -> List[List[List[ScenarioRecord]]]:
         """Run several grids as **one** batched submission to the backend.
 
@@ -274,6 +280,23 @@ class ParallelRunner:
         raises aborts the run.  Passing ``progress=None`` uses the
         non-streaming :meth:`~repro.experiments.backends.ExecutorBackend.map`
         path — byte-for-byte the historical behaviour.
+
+        ``reuse`` and ``on_result`` are the incremental re-run hooks
+        (what :func:`~repro.experiments.presets.run_paper` wires to its
+        per-cell :class:`~repro.experiments.results.CellStore`).
+        ``reuse(grid_index, spec, seed)`` is consulted once per cell
+        before submission; a non-``None`` record fills the cell's slot
+        without the backend ever seeing it.  Reused cells are counted
+        (and reported to ``progress``) first, in submission order, then
+        the remaining fresh cells stream as usual — so a resumed run's
+        event sequence is the cached burst followed by live completions.
+        ``on_result(grid_index, spec, seed, record)`` is called for each
+        **fresh** record, in submission order as it arrives (before the
+        ``progress`` event for that cell), which is what lets a caller
+        persist cells incrementally: every cell reported complete is
+        already on disk.  Neither hook changes the returned records —
+        reuse callers are responsible for returning records equal to
+        what the cell would compute.
         """
         grids = list(grids)
         per_grid_tasks: List[List[Tuple[Callable[[int], ScenarioResult], int]]] = []
@@ -291,16 +314,45 @@ class ParallelRunner:
                 if task_index < len(tasks):
                     order.append((grid_index, task_index))
         tasks = [per_grid_tasks[g][i] for g, i in order]
-        if progress is None:
+        if progress is None and reuse is None and on_result is None:
             records = self.run_tasks(tasks)
         else:
             totals = [len(grid_tasks) for grid_tasks in per_grid_tasks]
             completed = [0] * len(per_grid_tasks)
-            records = cast(List[ScenarioRecord], [])
-            for (grid_index, _), record in zip(order, self.backend.imap(_run_task, tasks), strict=True):
-                records.append(record)
+            slots: List[Optional[ScenarioRecord]] = [None] * len(order)
+            # Reused cells first: fill their slots (and report them) in
+            # submission order, without ever submitting them.
+            fresh_slots: List[int] = []
+            for slot, (grid_index, task_index) in enumerate(order):
+                cached = None
+                if reuse is not None:
+                    builder, seed = per_grid_tasks[grid_index][task_index]
+                    cached = reuse(grid_index, builder, seed)
+                if cached is None:
+                    fresh_slots.append(slot)
+                    continue
+                slots[slot] = cached
                 completed[grid_index] += 1
-                progress(grid_index, completed[grid_index], totals[grid_index])
+                if progress is not None:
+                    progress(grid_index, completed[grid_index], totals[grid_index])
+            if fresh_slots:
+                fresh_tasks = [tasks[slot] for slot in fresh_slots]
+                streaming = progress is not None or on_result is not None
+                results_iter = (
+                    self.backend.imap(_run_task, fresh_tasks)
+                    if streaming
+                    else iter(self.run_tasks(fresh_tasks))
+                )
+                for slot, record in zip(fresh_slots, results_iter, strict=True):
+                    grid_index, task_index = order[slot]
+                    slots[slot] = record
+                    if on_result is not None:
+                        builder, seed = per_grid_tasks[grid_index][task_index]
+                        on_result(grid_index, builder, seed, record)
+                    completed[grid_index] += 1
+                    if progress is not None:
+                        progress(grid_index, completed[grid_index], totals[grid_index])
+            records = cast(List[ScenarioRecord], slots)
         demuxed: List[List[Optional[ScenarioRecord]]] = [
             [None] * len(tasks) for tasks in per_grid_tasks
         ]

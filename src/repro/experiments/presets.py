@@ -46,8 +46,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.backends import ExecutorBackend, resolve_backend
-from repro.experiments.parallel import ParallelRunner, spawn_seeds
-from repro.experiments.results import PathLike, git_metadata, save_run
+from repro.experiments.parallel import ParallelRunner, ScenarioRecord, ScenarioSpec, spawn_seeds
+from repro.experiments.results import CellStore, PathLike, cell_key, git_metadata, save_run
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.experiments.figures import FigurePlan
@@ -281,6 +281,7 @@ def run_paper(
     base_seed: int = 0,
     overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
     out_dir: Optional[PathLike] = None,
+    resume: bool = True,
     progress: Optional[ProgressCallback] = None,
     profile: Optional[bool] = None,
 ) -> Dict[str, List[dict]]:
@@ -334,7 +335,24 @@ def run_paper(
     the same mapping is persisted as a run directory
     (:func:`~repro.experiments.results.save_run`) whose manifest records
     the preset, resolved per-family seed lists, backend, base seed, git
-    provenance and (when profiling) the core profile.
+    provenance, the cell-cache hit/store counts and (when profiling)
+    the core profile.
+
+    With ``out_dir`` the run is also **incremental**: every finished
+    metric cell is persisted into ``<out_dir>/cells/``
+    (:class:`~repro.experiments.results.CellStore`) as it completes, and
+    a rerun pointed at the same directory loads already-computed cells
+    from the cache instead of re-simulating them — so an interrupted
+    paper-scale sweep resumes where it died.  Cells are keyed on the
+    figure, scenario, parameters and seed
+    (:func:`~repro.experiments.results.cell_key`); the cache as a whole
+    is invalidated when the run-level provenance (seed policy, base
+    seed, figure parameters) differs from the cached run's.  Cached
+    cells are reported through ``progress`` as an up-front burst of
+    completions.  ``resume=False`` discards any cached cells and
+    recomputes everything (the fresh results are still persisted for
+    the next run).  Trace figures are cheap single runs and are never
+    cached.  See ``docs/distributed.md`` for the full semantics.
     """
     if figures is None:
         jobs = list(ALL_FIGURES)
@@ -370,13 +388,57 @@ def run_paper(
         for job in jobs
         if job.kind == "metric"
     ]
+    names = [job.name for job, _, _ in planned]
+
+    store: Optional[CellStore] = None
+    provenance: Dict[str, object] = {}
+    if out_dir is not None:
+        # The run-level provenance the cell cache is gated on — the same
+        # fields compare_runs keys on, and verbatim what the manifest
+        # metadata records below, so "cache valid" and "runs comparable"
+        # can never drift apart.
+        provenance = {
+            "seeds_arg": seeds if isinstance(seeds, (str, int)) else list(seeds),
+            "seeds": {
+                family: list(preset_seeds(seeds, family=family, base_seed=base_seed))
+                for family in ("linear", "random")
+            },
+            "base_seed": base_seed,
+            # Effective per-figure parameters (smoke shrinkage plus
+            # overrides; empty = figure defaults), so an overridden run
+            # is distinguishable from a default one when loaded back.
+            "figure_params": {job.name: job_kwargs(job) for job in jobs},
+        }
+        store = CellStore(out_dir, provenance, resume=resume)
+
+    reuse = None
+    on_result = None
+    if store is not None and planned:
+        cache = store
+
+        def _cache_key(grid_index: int, spec: object, seed: int) -> Optional[str]:
+            if not isinstance(spec, ScenarioSpec):
+                return None
+            return cell_key(names[grid_index], spec.scenario, spec.params, seed)
+
+        def reuse(grid_index: int, spec: object, seed: int) -> Optional[ScenarioRecord]:
+            key = _cache_key(grid_index, spec, seed)
+            if key is None:
+                return None
+            record = cache.get(key)
+            return record if isinstance(record, ScenarioRecord) else None
+
+        def on_result(grid_index: int, spec: object, seed: int, record: ScenarioRecord) -> None:
+            key = _cache_key(grid_index, spec, seed)
+            if key is not None:
+                cache.put(key, record)
+
     rows_by_name: Dict[str, List[dict]] = {}
     profile_context = nullcontext() if profiler is None else core_profile.profiled(profiler)
     with profile_context:
         if planned:
             grid_progress = None
             if progress is not None:
-                names = [job.name for job, _, _ in planned]
                 totals = [len(plan.specs) * len(seed_list) for _, plan, seed_list in planned]
                 for name, total in zip(names, totals, strict=True):
                     progress(name, 0, total)
@@ -387,6 +449,8 @@ def run_paper(
             grouped = ParallelRunner(backend=resolved).run_grids(
                 [(plan.specs, seed_list) for _, plan, seed_list in planned],
                 progress=grid_progress,
+                reuse=reuse,
+                on_result=on_result,
             )
             for (job, plan, _), groups in zip(planned, grouped, strict=True):
                 rows_by_name[job.name] = plan.aggregate(groups)
@@ -402,20 +466,19 @@ def run_paper(
     if out_dir is not None:
         metadata = {
             "driver": "run_paper",
-            "seeds_arg": seeds if isinstance(seeds, (str, int)) else list(seeds),
-            "seeds": {
-                family: list(preset_seeds(seeds, family=family, base_seed=base_seed))
-                for family in ("linear", "random")
-            },
+            "seeds_arg": provenance["seeds_arg"],
+            "seeds": provenance["seeds"],
             "base_seed": base_seed,
             "backend": resolved.name,
             "workers": resolved.workers,
-            # Effective per-figure parameters (smoke shrinkage plus
-            # overrides; empty = figure defaults), so an overridden run
-            # is distinguishable from a default one when loaded back.
-            "figure_params": {job.name: job_kwargs(job) for job in jobs},
+            "figure_params": provenance["figure_params"],
             "git": git_metadata(),
         }
+        if store is not None:
+            # How much of the run came from the resume cache: reused =
+            # cells loaded from cells/, computed = cells simulated (and
+            # persisted) by this invocation.
+            metadata["cells"] = {"reused": store.hits, "computed": store.stored}
         if profiler is not None:
             metadata["core_profile"] = profiler.report(top=20)
         save_run(results, out_dir, metadata)

@@ -21,6 +21,13 @@ Two rendering modes, picked automatically:
 
 The callback runs on the caller's thread (the ``run_paper`` contract),
 so no locking is needed.
+
+A **resumed** persisted run (``run_paper(out_dir=...)`` rerun after an
+interruption) reports its cached cells as an immediate burst of
+completions before any fresh simulation starts, so the bars jump
+straight to the percentage the previous run reached — the visible
+counterpart of the ``cells/`` reuse documented in
+``docs/distributed.md``.
 """
 
 from __future__ import annotations

@@ -16,6 +16,9 @@ Layout of a run directory::
         figure3c.json
         figure3c.csv
         ...
+        cells/             # incremental re-run cache (run_paper(out_dir=...))
+            provenance.json
+            <sha256 cell key>.pkl
 
 * ``manifest.json`` records the figure names in paper order plus
   whatever run metadata the writer supplied — ``run_paper`` stores the
@@ -27,6 +30,14 @@ Layout of a run directory::
   reads back); the sibling ``.csv`` carries the same rows for
   spreadsheet and plotting tools and is write-only as far as this
   module is concerned.
+* ``cells/`` is the :class:`CellStore` — one pickled
+  :class:`~repro.experiments.parallel.ScenarioRecord` per completed
+  figure cell, written as cells finish so an interrupted
+  ``run_paper(out_dir=...)`` resumes instead of restarting.  The cache
+  is keyed on the same provenance fields ``compare_runs`` gates on;
+  see :class:`CellStore` and ``docs/distributed.md`` for the exact
+  reuse semantics.  :func:`save_run`'s stale-row cleanup never touches
+  the subdirectory.
 
 Rows are lists of flat dictionaries (the one shape every figure in
 :mod:`repro.experiments.figures` now produces, trace figures included
@@ -47,12 +58,14 @@ consumers in ``docs/results.md``.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
+import pickle
 import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 Row = Dict[str, object]
 PathLike = Union[str, Path]
@@ -61,6 +74,11 @@ PathLike = Union[str, Path]
 MANIFEST_NAME = "manifest.json"
 #: Version stamp written into every manifest; bump on layout changes.
 MANIFEST_FORMAT = 1
+#: Subdirectory of a run directory holding the per-cell result cache.
+CELLS_DIR_NAME = "cells"
+#: Provenance sidecar inside the cells directory; a mismatch with the
+#: current run's provenance invalidates every cached cell.
+CELLS_PROVENANCE_NAME = "provenance.json"
 
 
 def git_metadata(cwd: Optional[PathLike] = None) -> Dict[str, object]:
@@ -200,6 +218,106 @@ def write_manifest(
     path = directory / MANIFEST_NAME
     path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
     return path
+
+
+def cell_key(figure: str, scenario: str, params: Mapping[str, object], seed: int) -> str:
+    """Content hash identifying one figure cell for the resume cache.
+
+    The key covers everything that determines a cell's simulated
+    record: the figure it belongs to, the scenario name, the builder's
+    parameter mapping and the seed.  It deliberately does *not* cover
+    the backend or worker count — those change scheduling, never
+    results (the cross-backend bit-identity pins in tests/test_backends
+    are what make this safe).  Run-level provenance (seed policy,
+    figure-parameter overrides) is handled separately by
+    :class:`CellStore`, which invalidates the whole cache when it
+    drifts.
+    """
+    payload = {
+        "figure": figure,
+        "scenario": scenario,
+        "params": dict(params),
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CellStore:
+    """Per-cell result cache inside a run directory (``cells/``).
+
+    Each completed figure cell is pickled to
+    ``<run_dir>/cells/<cell_key>.pkl`` as it finishes, so a
+    ``run_paper(out_dir=...)`` that dies partway can be rerun and only
+    simulate the cells it is missing.  A ``provenance.json`` sidecar
+    records the run-level provenance (the same fields
+    ``compare_runs`` gates on: seed policy, resolved seeds, base seed,
+    figure-parameter overrides); if the sidecar of an existing cache
+    does not match the current run's provenance — or ``resume=False``
+    is passed — every cached cell is discarded up front rather than
+    risking rows from a differently-configured run.
+
+    Payloads are pickled, not JSON: scenario records carry mappings
+    with non-string keys (e.g. per-node energy keyed by node id) that a
+    JSON round-trip would silently corrupt.  A cell that fails to read
+    back (truncated write, foreign file) is deleted and recomputed —
+    corruption can cost time, never correctness.
+    """
+
+    def __init__(
+        self,
+        run_dir: PathLike,
+        provenance: Mapping[str, object],
+        *,
+        resume: bool = True,
+    ) -> None:
+        self.directory = Path(run_dir) / CELLS_DIR_NAME
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Cells served from the cache this run.
+        self.hits = 0
+        #: Cells persisted by this run.
+        self.stored = 0
+        canonical = json.dumps(dict(provenance), sort_keys=True, default=str)
+        sidecar = self.directory / CELLS_PROVENANCE_NAME
+        stale = True
+        if resume:
+            try:
+                stale = sidecar.read_text() != canonical + "\n"
+            except OSError:
+                stale = True
+        if stale:
+            for cached in self.directory.glob("*.pkl"):
+                cached.unlink(missing_ok=True)
+            sidecar.write_text(canonical + "\n")
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached payload for ``key``, or ``None``.
+
+        Unreadable cells are deleted so the caller recomputes them.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(raw)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Persist one cell atomically (tmp file + rename)."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(pickle.dumps(payload))
+        tmp.replace(path)
+        self.stored += 1
 
 
 def _read_payload(path: Path) -> Optional[object]:

@@ -1,0 +1,484 @@
+"""The asyncio dispatcher behind :class:`~repro.experiments.backends.AsyncBackend`.
+
+This module is the scheduler half of the async backend: a pool of
+persistent worker *processes* (one duplex pipe each) driven by a single
+asyncio coroutine that shards a batch of tasks across them.  The
+backend-facing contract (ordered ``map``/``imap`` delivery, lazy start,
+idempotent close) lives in :mod:`repro.experiments.backends`; this
+module owns the scheduling policy:
+
+* **Bounded in-flight window (backpressure).**  Task ``i`` is only
+  dispatched once fewer than ``window`` results are unconsumed, i.e.
+  ``i < consumed + window`` where ``consumed`` counts results the
+  caller has actually pulled from the stream.  A slow ``imap`` consumer
+  therefore throttles dispatch instead of accumulating an unbounded
+  reorder buffer, and the reorder buffer (results completed out of
+  submission order) can never exceed the window either.
+* **Work stealing.**  When no fresh task is dispatchable and no retry
+  is due, an idle worker duplicates the longest-running in-flight task
+  (at most one duplicate per task, after ``steal_after`` seconds).
+  Whichever copy finishes first wins; the loser's result is discarded
+  by sequence number.  Duplicating a pure, seed-determined simulation
+  is always safe, so stragglers cannot serialise the tail of a batch.
+* **Retry with capped exponential backoff.**  A task attempt ends in
+  success, a worker-side exception, a dead worker (crash / SIGKILL),
+  or a per-task timeout.  Failed attempts are retried up to
+  ``max_retries`` times, waiting ``min(retry_max_delay,
+  retry_base_delay * 2**(attempt-1))`` between attempts; dead workers
+  are respawned.  A task that exhausts its retries fails the batch
+  with :class:`AsyncCellError` naming every failed cell — never a
+  silent hole in a result grid.
+
+The dispatch coroutine multiplexes all worker pipes (and process death
+sentinels) through :func:`multiprocessing.connection.wait` on a
+single-thread executor, so one coroutine observes completions, crashes
+and deadlines without a thread per worker.  Results are delivered to
+the consuming thread through a queue, strictly in submission order.
+
+Determinism: scheduling (stealing, retries, worker death) never
+reorders *delivery* — results are matched to submission slots by index
+— so aggregates are bit-identical to a serial run regardless of worker
+count, timing, or how many attempts a cell needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import multiprocessing
+import pickle
+import queue
+import threading
+import traceback
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from dataclasses import dataclass
+from functools import partial
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Deque, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+__all__ = ["AsyncCellError", "AsyncScheduler", "CellFailure"]
+
+#: Upper bound on one selector wait; also the granularity of timeout,
+#: retry-due and consumer-progress checks.  Small enough that a stalled
+#: consumer or a due retry is noticed promptly, large enough that an
+#: idle scheduler costs nothing measurable.
+_TICK_SECONDS = 0.05
+
+#: How much of a failing item's repr() survives into error messages.
+_ITEM_REPR_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its retries: where, how often, and why."""
+
+    index: int
+    item: str
+    attempts: int
+    error: str
+
+
+class AsyncCellError(RuntimeError):
+    """A batch failed: one or more cells exhausted their retries.
+
+    Raised by :meth:`AsyncBackend.map`/``imap`` instead of returning a
+    grid with holes.  ``failures`` lists every cell known to have
+    failed permanently when the batch was aborted, each with its item
+    repr, attempt count and last error (a worker-side traceback, a
+    crash notice, or a timeout description).
+    """
+
+    def __init__(self, failures: List[CellFailure]) -> None:
+        self.failures = failures
+        lines = [
+            f"  cell {f.index} ({f.item}) failed after {f.attempts} attempt(s): {f.error.strip()}"
+            for f in failures
+        ]
+        super().__init__(
+            f"{len(failures)} cell(s) exhausted their retries:\n" + "\n".join(lines)
+        )
+
+
+def _describe_exception(exc: BaseException) -> str:
+    """A compact worker-side failure description (type, message, tail frames)."""
+    rendered = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__, limit=8))
+    return rendered[-2000:]
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker-process loop: receive ``(seq, token, fn_bytes, item)``, reply.
+
+    Replies are ``(seq, True, result)`` or ``(seq, False, error_text)``.
+    The callable is pickled once per batch by the parent and cached here
+    by its batch token, so per-task messages stay small.  Any exception
+    — including a result that fails to pickle on the way back — is
+    reported as a failed attempt rather than killing the worker.
+    """
+    fn_token: Optional[int] = None
+    fn: Optional[Callable[[Any], Any]] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        seq, token, fn_bytes, item = message
+        try:
+            if fn is None or fn_token != token:
+                fn = pickle.loads(fn_bytes)
+                fn_token = token
+            assert fn is not None
+            result = fn(item)
+        except BaseException as exc:  # noqa: B036 - attempt failure, reported to the parent
+            with suppress(OSError, ValueError):
+                conn.send((seq, False, _describe_exception(exc)))
+            continue
+        try:
+            conn.send((seq, True, result))
+        except (OSError, BrokenPipeError):
+            return
+        except Exception as exc:  # unpicklable result
+            with suppress(OSError, ValueError):
+                conn.send((seq, False, f"result could not be pickled: {exc!r}"))
+
+
+class _Worker:
+    """A live worker process plus the parent end of its pipe.
+
+    ``current`` is the in-flight assignment ``(index, seq, started)``
+    or ``None`` when idle; the globally unique ``seq`` is what lets the
+    dispatcher discard stale results (from a stolen task's losing copy,
+    or from a batch that was aborted mid-flight)."""
+
+    __slots__ = ("conn", "current", "process")
+
+    def __init__(self, ctx: Any, name: str) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True, name=name)
+        self.process.start()
+        child_conn.close()
+        self.conn: Connection = parent_conn
+        self.current: Optional[Tuple[int, int, float]] = None
+
+    def terminate(self) -> None:
+        with suppress(Exception):
+            self.process.kill()
+        with suppress(Exception):
+            self.process.join(timeout=2.0)
+        with suppress(Exception):
+            self.conn.close()
+
+
+class _Call:
+    """One in-flight batch: the result stream plus consumer feedback.
+
+    The dispatcher pushes ``("item", result)`` entries in submission
+    order, then one ``("done", None)`` or ``("error", exception)``.
+    ``consumed`` counts items the consumer has pulled — the dispatcher
+    reads it to enforce the in-flight window — and ``aborted`` is set
+    when the consumer abandons the stream so the dispatcher can stop.
+    """
+
+    def __init__(self) -> None:
+        self.queue: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self.consumed = 0
+        self.aborted = False
+        self.thread: Optional[threading.Thread] = None
+
+    def results(self) -> Iterator[Any]:
+        """Yield the batch's results in submission order; raise on failure."""
+        try:
+            while True:
+                kind, payload = self.queue.get()
+                if kind == "item":
+                    self.consumed += 1
+                    yield payload
+                elif kind == "done":
+                    return
+                else:
+                    raise payload
+        finally:
+            self.aborted = True
+            if self.thread is not None and not self.thread.is_alive():
+                self.thread.join()
+
+
+class AsyncScheduler:
+    """Dispatch batches over persistent worker processes (see module docs).
+
+    One scheduler serves many sequential batches; workers are spawned
+    lazily on the first batch and reused until :meth:`close`.  Batches
+    are serialised by an internal lock — the backend's ordered-delivery
+    contract has no use for interleaved batches.  ``stats`` accumulates
+    scheduling events (``retries``, ``steals``, ``respawns``,
+    ``timeouts``, ``failures``) across the scheduler's lifetime, which
+    is what the fault-injection tests assert against.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        window: int,
+        max_retries: int,
+        retry_base_delay: float,
+        retry_max_delay: float,
+        task_timeout: Optional[float],
+        steal_after: float,
+    ) -> None:
+        self.workers = int(workers)
+        self.window = max(int(window), self.workers)
+        self.max_retries = int(max_retries)
+        self.retry_base_delay = float(retry_base_delay)
+        self.retry_max_delay = float(retry_max_delay)
+        self.task_timeout = None if task_timeout is None else float(task_timeout)
+        self.steal_after = float(steal_after)
+        self.stats: Dict[str, int] = {
+            "retries": 0,
+            "steals": 0,
+            "respawns": 0,
+            "timeouts": 0,
+            "failures": 0,
+        }
+        start_methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context("fork" if "fork" in start_methods else "spawn")
+        self._workers: List[_Worker] = []
+        self._io: Optional[ThreadPoolExecutor] = None
+        self._lifecycle_lock = threading.Lock()
+        self._call_lock = threading.Lock()
+        self._seq = 0
+        self._spawned = 0
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return bool(self._workers)
+
+    def worker_pids(self) -> FrozenSet[int]:
+        return frozenset(w.process.pid for w in self._workers if w.process.pid is not None)
+
+    def close(self) -> None:
+        with self._lifecycle_lock:
+            workers, self._workers = self._workers, []
+            io, self._io = self._io, None
+        for worker in workers:
+            worker.terminate()
+        if io is not None:
+            io.shutdown(wait=False)
+
+    def _spawn_worker(self) -> _Worker:
+        self._spawned += 1
+        return _Worker(self._ctx, name=f"repro-async-worker-{self._spawned}")
+
+    def _ensure_started(self) -> ThreadPoolExecutor:
+        with self._lifecycle_lock:
+            while len(self._workers) < self.workers:
+                self._workers.append(self._spawn_worker())
+            if self._io is None:
+                self._io = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-async-io")
+            return self._io
+
+    # -- batch entry point ------------------------------------------------------------
+
+    def start(self, fn: Callable[[Any], Any], items: List[Any]) -> _Call:
+        """Run ``fn`` over ``items`` on the workers; returns the result stream."""
+        call = _Call()
+        thread = threading.Thread(
+            target=self._run_call, args=(call, fn, items), daemon=True, name="repro-async-dispatch"
+        )
+        call.thread = thread
+        thread.start()
+        return call
+
+    def _run_call(self, call: _Call, fn: Callable[[Any], Any], items: List[Any]) -> None:
+        with self._call_lock:
+            try:
+                asyncio.run(self._dispatch(call, fn, items))
+            except BaseException as exc:  # noqa: B036 - relayed to the consuming thread
+                call.queue.put(("error", exc))
+            else:
+                call.queue.put(("done", None))
+
+    # -- the dispatcher ---------------------------------------------------------------
+
+    async def _dispatch(self, call: _Call, fn: Callable[[Any], Any], items: List[Any]) -> None:
+        loop = asyncio.get_running_loop()
+        io = self._ensure_started()
+        # A previous batch that ended early (fail-fast, or an imap
+        # consumer that abandoned the stream) can leave workers still
+        # chewing on its tasks; their eventual replies must not be
+        # mistaken for this batch's.  Replace them with fresh workers —
+        # their assignment state (and any straggling reply in the pipe)
+        # dies with the process.
+        with self._lifecycle_lock:
+            for worker in [w for w in self._workers if w.current is not None]:
+                self._workers.remove(worker)
+                worker.terminate()
+                self._workers.append(self._spawn_worker())
+                self.stats["respawns"] += 1
+        self._seq += 1
+        token = self._seq
+        fn_bytes = pickle.dumps(fn)
+        total = len(items)
+
+        results: Dict[int, Any] = {}
+        resolved: Dict[int, bool] = {}
+        attempts: Dict[int, int] = {}
+        live: Dict[int, int] = {}
+        failures: Dict[int, CellFailure] = {}
+        ready: Deque[int] = deque()
+        retry_heap: List[Tuple[float, int]] = []
+        next_fresh = 0
+        next_emit = 0
+
+        def emit_ready() -> None:
+            nonlocal next_emit
+            while next_emit in results:
+                call.queue.put(("item", results.pop(next_emit)))
+                next_emit += 1
+
+        def fail_attempt(index: int, error: str) -> None:
+            """One assignment of ``index`` ended badly; retry or give up."""
+            if index in resolved:
+                return
+            attempts[index] = attempts.get(index, 0) + 1
+            if live.get(index, 0) > 0:
+                return  # a stolen duplicate is still running this cell
+            if attempts[index] > self.max_retries:
+                resolved[index] = True
+                failures[index] = CellFailure(
+                    index=index,
+                    item=repr(items[index])[:_ITEM_REPR_LIMIT],
+                    attempts=attempts[index],
+                    error=error,
+                )
+                self.stats["failures"] += 1
+            else:
+                delay = min(
+                    self.retry_max_delay,
+                    self.retry_base_delay * (2 ** (attempts[index] - 1)),
+                )
+                heapq.heappush(retry_heap, (loop.time() + delay, index))
+                self.stats["retries"] += 1
+
+        def end_assignment(worker: _Worker) -> Optional[int]:
+            current, worker.current = worker.current, None
+            if current is None:
+                return None
+            index = current[0]
+            live[index] = max(live.get(index, 1) - 1, 0)
+            return index
+
+        def worker_died(worker: _Worker, error: str) -> None:
+            if worker not in self._workers:
+                return  # already handled via another path
+            self._workers.remove(worker)
+            index = end_assignment(worker)
+            worker.terminate()
+            self._workers.append(self._spawn_worker())
+            self.stats["respawns"] += 1
+            if index is not None:
+                fail_attempt(index, error)
+
+        def drain(worker: _Worker) -> None:
+            try:
+                while worker.conn.poll():
+                    seq, ok, payload = worker.conn.recv()
+                    current = worker.current
+                    if current is None or current[1] != seq:
+                        continue  # stale: an aborted batch or a steal's losing copy
+                    index = end_assignment(worker)
+                    assert index is not None
+                    if index in resolved:
+                        continue
+                    if ok:
+                        resolved[index] = True
+                        results[index] = payload
+                        emit_ready()
+                    else:
+                        fail_attempt(index, payload)
+            except (EOFError, OSError):
+                worker_died(worker, "worker connection lost mid-result")
+
+        def dispatch_to_idle(now: float) -> None:
+            nonlocal next_fresh
+            while True:
+                worker = next((w for w in self._workers if w.current is None), None)
+                if worker is None:
+                    return
+                index: Optional[int] = None
+                stolen = False
+                while ready:
+                    candidate = ready.popleft()
+                    if candidate not in resolved:
+                        index = candidate
+                        break
+                if index is None and next_fresh < total and next_fresh < call.consumed + self.window:
+                    index = next_fresh
+                    next_fresh += 1
+                if index is None:
+                    # Nothing fresh or due: duplicate the oldest straggler.
+                    candidates = [
+                        w
+                        for w in self._workers
+                        if w.current is not None
+                        and live.get(w.current[0], 0) == 1
+                        and w.current[0] not in resolved
+                        and now - w.current[2] >= self.steal_after
+                    ]
+                    if not candidates:
+                        return
+                    victim = min(candidates, key=lambda w: w.current[2] if w.current else now)
+                    assert victim.current is not None
+                    index = victim.current[0]
+                    stolen = True
+                self._seq += 1
+                seq = self._seq
+                worker.current = (index, seq, now)
+                live[index] = live.get(index, 0) + 1
+                try:
+                    worker.conn.send((seq, token, fn_bytes, items[index]))
+                except (OSError, ValueError):
+                    worker_died(worker, "worker unreachable at dispatch")
+                    continue
+                if stolen:
+                    self.stats["steals"] += 1
+
+        while len(resolved) < total and not failures and not call.aborted:
+            now = loop.time()
+            while retry_heap and retry_heap[0][0] <= now:
+                ready.append(heapq.heappop(retry_heap)[1])
+            dispatch_to_idle(now)
+            wait_objects: List[Any] = [w.conn for w in self._workers]
+            wait_objects.extend(w.process.sentinel for w in self._workers)
+            await loop.run_in_executor(
+                io, partial(connection_wait, wait_objects, _TICK_SECONDS)
+            )
+            now = loop.time()
+            for worker in list(self._workers):
+                drain(worker)
+            for worker in list(self._workers):
+                if not worker.process.is_alive():
+                    drain(worker)  # salvage any result buffered before death
+                    worker_died(worker, "worker process died mid-cell")
+            if self.task_timeout is not None:
+                for worker in list(self._workers):
+                    current = worker.current
+                    if current is None or now - current[2] <= self.task_timeout:
+                        continue
+                    if worker.conn.poll():
+                        continue  # result raced in; picked up next iteration
+                    self.stats["timeouts"] += 1
+                    with suppress(Exception):
+                        worker.process.kill()
+                    worker_died(
+                        worker,
+                        f"cell exceeded task_timeout={self.task_timeout:g}s and was killed",
+                    )
+
+        if failures:
+            raise AsyncCellError([failures[i] for i in sorted(failures)])

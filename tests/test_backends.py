@@ -14,6 +14,9 @@ from repro.experiments.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    async_retries_from_env,
+    async_timeout_from_env,
+    async_workers_from_env,
     close_shared_backends,
     make_backend,
     resolve_backend,
@@ -76,6 +79,9 @@ class TestImapOrdering:
             for backend in (SerialBackend(), process, thread):
                 assert list(backend.imap(_square, range(6))) == [v * v for v in range(6)]
                 assert list(backend.imap(_square, [])) == []
+        with AsyncBackend(workers=2) as scheduler:
+            assert list(scheduler.imap(_square, range(6))) == [v * v for v in range(6)]
+            assert list(scheduler.imap(_square, [])) == []
 
     def test_imap_matches_map(self):
         with ProcessBackend(workers=2) as backend:
@@ -102,13 +108,6 @@ class TestImapOrdering:
             assert list(backend.imap(_square, range(4))) == [0, 1, 4, 9]
             # The backend stays healthy for later batched calls too.
             assert backend.map(_square, [5]) == [25]
-
-    def test_async_stub_imap_raises_like_map(self):
-        # The default imap materialises through map(), so the stub's
-        # NotImplementedError surfaces at the call itself.
-        with pytest.raises(NotImplementedError):
-            AsyncBackend(workers=2).imap(_square, [1])
-
 
 class TestProcessBackendLifecycle:
     def test_pool_starts_lazily_and_is_reused(self):
@@ -237,21 +236,57 @@ class TestThreadBackend:
             assert set(backend.map(_pid, range(4))) == {os.getpid()}
 
 
-class TestAsyncBackendStub:
+class TestAsyncBackend:
     def test_is_a_backend_and_carries_configuration(self):
         backend = AsyncBackend(endpoint="scheduler:9999", workers=8)
         assert isinstance(backend, ExecutorBackend)
         assert backend.endpoint == "scheduler:9999"
         assert backend.workers == 8
+        assert backend.name == "async"
 
-    def test_map_is_not_implemented_yet(self):
-        with AsyncBackend() as backend:
-            with pytest.raises(NotImplementedError):
-                backend.map(_square, [1])
+    def test_map_and_imap_agree(self):
+        with AsyncBackend(workers=2) as backend:
+            assert backend.map(_square, range(5)) == [v * v for v in range(5)]
+            assert list(backend.imap(_square, range(5))) == backend.map(_square, range(5))
+
+    def test_runs_in_worker_processes(self):
+        with AsyncBackend(workers=2) as backend:
+            pids = set(backend.map(_pid, range(8)))
+            assert os.getpid() not in pids
+            assert pids <= backend.worker_pids()
+
+    def test_lifecycle_matches_process_backend(self):
+        backend = AsyncBackend(workers=2)
+        assert not backend.is_running
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend.is_running
+        pids = backend.worker_pids()
+        assert backend.map(_square, [4]) == [16]
+        assert backend.worker_pids() == pids, "second call must reuse the worker pool"
+        backend.close()
+        backend.close()
+        assert not backend.is_running
+        assert backend.worker_pids() == frozenset()
+        assert backend.map(_square, [5]) == [25], "closed backend must restart lazily"
+        backend.close()
+
+    def test_unpicklable_payload_rejected_up_front(self):
+        with AsyncBackend(workers=2) as backend:
+            with pytest.raises(TypeError, match="picklable"):
+                backend.map(lambda value: value, [1])
+        assert not backend.is_running
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncBackend(workers=0)
+        with pytest.raises(ValueError):
+            AsyncBackend(workers=2, window=0)
+        with pytest.raises(ValueError):
+            AsyncBackend(workers=2, max_retries=-1)
 
 
 class TestCrossBackendBitIdentity:
-    def test_serial_process_thread_agree_on_a_small_grid(self):
+    def test_serial_process_thread_async_agree_on_a_small_grid(self):
         specs = [ScenarioSpec("linear", dict(SMALL_LINEAR, num_nodes=size)) for size in (3, 4)]
         seeds = [1, 2, 3]
         serial = ParallelRunner(backend=SerialBackend()).run_grid(specs, seeds)
@@ -259,8 +294,28 @@ class TestCrossBackendBitIdentity:
             process = ParallelRunner(backend=backend).run_grid(specs, seeds)
         with ThreadBackend(workers=2) as backend:
             thread = ParallelRunner(backend=backend).run_grid(specs, seeds)
+        with AsyncBackend(workers=2) as backend:
+            scheduled = ParallelRunner(backend=backend).run_grid(specs, seeds)
         assert process == serial
         assert thread == serial
+        assert scheduled == serial
+
+
+class TestTasksSubmitted:
+    def test_counts_caller_visible_items_per_backend(self):
+        backends = [
+            SerialBackend(),
+            ProcessBackend(workers=2),
+            ThreadBackend(workers=2),
+            AsyncBackend(workers=2),
+        ]
+        for backend in backends:
+            with backend:
+                assert backend.tasks_submitted == 0
+                backend.map(_square, range(5))
+                assert backend.tasks_submitted == 5
+                list(backend.imap(_square, range(3)))
+                assert backend.tasks_submitted == 8, backend.name
 
 
 class TestResolveBackend:
@@ -340,3 +395,34 @@ class TestWorkersFromEnv:
         monkeypatch.setenv("REPRO_WORKERS", "-1")
         with pytest.raises(ValueError):
             workers_from_env()
+
+
+class TestAsyncEnvSeams:
+    def test_async_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_WORKERS", raising=False)
+        assert async_workers_from_env() is None
+        assert async_workers_from_env(default=3) == 3
+        monkeypatch.setenv("REPRO_ASYNC_WORKERS", "4")
+        assert async_workers_from_env() == 4
+        assert AsyncBackend().workers == 4
+        monkeypatch.setenv("REPRO_ASYNC_WORKERS", "0")
+        with pytest.raises(ValueError):
+            async_workers_from_env()
+
+    def test_async_retries(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_RETRIES", raising=False)
+        assert async_retries_from_env() == 2
+        monkeypatch.setenv("REPRO_ASYNC_RETRIES", "0")
+        assert async_retries_from_env() == 0
+        monkeypatch.setenv("REPRO_ASYNC_RETRIES", "-1")
+        with pytest.raises(ValueError):
+            async_retries_from_env()
+
+    def test_async_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_TIMEOUT", raising=False)
+        assert async_timeout_from_env() is None
+        monkeypatch.setenv("REPRO_ASYNC_TIMEOUT", "2.5")
+        assert async_timeout_from_env() == 2.5
+        # Zero or negative disables the per-cell timeout entirely.
+        monkeypatch.setenv("REPRO_ASYNC_TIMEOUT", "0")
+        assert async_timeout_from_env() is None

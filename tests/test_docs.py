@@ -22,7 +22,7 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-DOC_FILES = ("README.md", "docs/results.md")
+DOC_FILES = ("README.md", "docs/results.md", "docs/distributed.md")
 
 RUNNABLE_MARKER = "# runnable"
 _FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
@@ -89,6 +89,9 @@ class TestReadmeIndexes:
             "REPRO_PLOTS_BACKEND",
             "REPRO_BENCH_NO_ASSERT",
             "REPRO_PROFILE",
+            "REPRO_ASYNC_WORKERS",
+            "REPRO_ASYNC_RETRIES",
+            "REPRO_ASYNC_TIMEOUT",
         ):
             assert variable in self.README, f"README env-var table misses {variable}"
 
@@ -101,6 +104,18 @@ class TestReadmeIndexes:
     def test_results_doc_is_linked_and_exists(self):
         assert "docs/results.md" in self.README
         assert (REPO_ROOT / "docs" / "results.md").exists()
+
+    def test_distributed_doc_is_cross_linked(self):
+        # The distributed-execution doc is reachable from the README
+        # and from the run-directory doc, and its backend row replaced
+        # the stale "API stub" caveat.
+        assert "docs/distributed.md" in self.README
+        assert (REPO_ROOT / "docs" / "distributed.md").exists()
+        assert "distributed.md" in (REPO_ROOT / "docs" / "results.md").read_text()
+        assert "API stub" not in self.README
+        from repro.experiments.backends import AsyncBackend
+
+        assert "stub" not in (AsyncBackend.__doc__ or "").lower()
 
 
 class TestListFiguresCli:
