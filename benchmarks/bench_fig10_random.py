@@ -18,7 +18,7 @@ def test_figure10_random_topologies(benchmark):
         columns=["netSize", "protocol", "energy_per_bit_uJ", "goodput_kbps"],
         title="Figure 10: energy per bit and goodput on static random topologies",
     ))
-    for size in {row["netSize"] for row in rows}:
+    for size in sorted({row["netSize"] for row in rows}):
         at_size = {row["protocol"]: row for row in rows if row["netSize"] == size}
         assert at_size["jtp"]["energy_per_bit_uJ"] < at_size["tcp"]["energy_per_bit_uJ"]
         assert at_size["jtp"]["goodput_kbps"] > at_size["tcp"]["goodput_kbps"]

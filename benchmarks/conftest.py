@@ -73,6 +73,29 @@ def bench_workers() -> Optional[int]:
     return workers_from_env(default=None)
 
 
+def seeds_from_env() -> Optional[int]:
+    """The ``REPRO_SEEDS`` replication override, or ``None`` when unset."""
+    value = os.environ.get("REPRO_SEEDS", "").strip()
+    return int(value) if value else None
+
+
+def no_assert_from_env() -> bool:
+    """Whether ``REPRO_BENCH_NO_ASSERT`` disables wall-clock assertions."""
+    return bool(os.environ.get("REPRO_BENCH_NO_ASSERT", "").strip())
+
+
+def run_dir_from_env() -> Optional[Path]:
+    """The ``REPRO_RUN_DIR`` persistence target, or ``None`` when unset."""
+    value = os.environ.get("REPRO_RUN_DIR", "").strip()
+    return Path(value) if value else None
+
+
+def plots_dir_from_env() -> Optional[Path]:
+    """The ``REPRO_PLOTS_DIR`` render target, or ``None`` when unset."""
+    value = os.environ.get("REPRO_PLOTS_DIR", "").strip()
+    return Path(value) if value else None
+
+
 def bench_seeds(family: str = "linear") -> Tuple[int, ...]:
     """Seed list for a figure driver: the smoke preset, or ``REPRO_SEEDS``.
 
@@ -81,15 +104,15 @@ def bench_seeds(family: str = "linear") -> Tuple[int, ...]:
     random/mobile/testbed ones).  Set ``REPRO_SEEDS=N`` to replicate
     every cell over ``N`` deterministically-derived seeds instead.
     """
-    value = os.environ.get("REPRO_SEEDS", "").strip()
-    if value:
-        return preset_seeds(int(value), family=family)
+    count = seeds_from_env()
+    if count is not None:
+        return preset_seeds(count, family=family)
     return preset_seeds("smoke", family=family)
 
 
 def bench_no_assert() -> bool:
     """Whether wall-clock assertions are disabled (``REPRO_BENCH_NO_ASSERT``)."""
-    return bool(os.environ.get("REPRO_BENCH_NO_ASSERT", "").strip())
+    return no_assert_from_env()
 
 
 def bench_host() -> dict:
@@ -112,14 +135,12 @@ def bench_host() -> dict:
 
 def bench_run_dir() -> Optional[Path]:
     """Run directory for persisted bench rows (``REPRO_RUN_DIR``), or ``None``."""
-    value = os.environ.get("REPRO_RUN_DIR", "").strip()
-    return Path(value) if value else None
+    return run_dir_from_env()
 
 
 def bench_plots_dir() -> Optional[Path]:
     """Directory for rendered bench figures (``REPRO_PLOTS_DIR``), or ``None``."""
-    value = os.environ.get("REPRO_PLOTS_DIR", "").strip()
-    return Path(value) if value else None
+    return plots_dir_from_env()
 
 
 def events_per_sec_report(name: str, events: int, seconds: float) -> float:

@@ -7,7 +7,8 @@ fact.  See ``docs/checks.md`` for the rule catalogue.
 
 Usage::
 
-    python -m repro.checks [--format text|json] [--rules DET001,…] [paths…]
+    python -m repro.checks [--format text|json|sarif] [--rules DET001,…]
+                           [--baseline checks-baseline.json] [paths…]
 
 Suppress a deliberate, justified violation with a pragma on the line or
 the line above::
@@ -21,12 +22,25 @@ CLI are all importable for programmatic use (the fixture tests drive
 """
 
 from repro.checks.findings import Finding
-from repro.checks.registry import Rule, all_rules, get_rule, register, run_rules, select_rules
+from repro.checks.project import Project
+from repro.checks.registry import (
+    BaseRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    run_rules,
+    select_rules,
+)
 from repro.checks.source import ModuleSource, load_sources
 
 __all__ = [
+    "BaseRule",
     "Finding",
     "ModuleSource",
+    "Project",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",

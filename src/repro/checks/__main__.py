@@ -1,8 +1,18 @@
 """``python -m repro.checks`` entry point."""
 
+import os
 import sys
 
 from repro.checks.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream pipe closed early (``… | head``).  Point stdout at
+        # devnull so the interpreter's shutdown flush cannot traceback,
+        # and exit like a well-behaved Unix filter.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        status = 1
+    sys.exit(status)

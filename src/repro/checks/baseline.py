@@ -1,0 +1,98 @@
+"""Baseline files: land a new rule without a big-bang cleanup.
+
+A baseline is a committed JSON snapshot of the findings a tree is known
+to carry.  ``python -m repro.checks --baseline checks-baseline.json``
+subtracts those from the scan, so CI fails only on *new* findings —
+the established pattern (ruff's ``--add-noqa``, mypy baselines) for
+ratcheting a codebase toward a stricter rule set instead of blocking
+the rule on a repository-wide fix.
+
+Identity is a content fingerprint, not a line number: ``(posix path,
+rule id, stripped source line text)`` hashed with SHA-256.  Adding a
+line above a baselined finding does not un-baseline it; editing the
+flagged line does — which is exactly when a human should look again.
+Identical findings on identical lines are counted, so a baseline entry
+suppresses at most as many findings as were recorded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.checks.findings import Finding
+
+#: Format marker for forward compatibility.
+BASELINE_VERSION = 1
+
+
+def posix_path(path: str) -> str:
+    """Forward-slash form of a path, stable across host platforms."""
+    return Path(path).as_posix()
+
+
+def finding_fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    payload = "\x1f".join([posix_path(finding.path), finding.rule_id, line_text.strip()])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(
+    findings: Sequence[Finding], line_text: Callable[[str, int], str]
+) -> Dict[str, object]:
+    """The JSON-ready baseline document for the given findings."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding in findings:
+        fingerprint = finding_fingerprint(finding, line_text(finding.path, finding.line))
+        entry = entries.get(fingerprint)
+        if entry is None:
+            entries[fingerprint] = {
+                "count": 1,
+                "rule": finding.rule_id,
+                "path": posix_path(finding.path),
+                "line": line_text(finding.path, finding.line).strip(),
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1  # type: ignore[call-overload]
+    return {"version": BASELINE_VERSION, "findings": entries}
+
+
+def save_baseline(path: Path, document: Dict[str, object]) -> None:
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint → allowed count, from a baseline file on disk."""
+    document = json.loads(path.read_text())
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path} is not a version-{BASELINE_VERSION} checks baseline")
+    entries = document.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: 'findings' must be an object")
+    counts: Dict[str, int] = {}
+    for fingerprint, entry in entries.items():
+        count = entry.get("count", 1) if isinstance(entry, dict) else 1
+        counts[str(fingerprint)] = max(1, int(count))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Dict[str, int],
+    line_text: Callable[[str, int], str],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count) under a baseline."""
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fingerprint = finding_fingerprint(finding, line_text(finding.path, finding.line))
+        remaining = budget.get(fingerprint, 0)
+        if remaining > 0:
+            budget[fingerprint] = remaining - 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

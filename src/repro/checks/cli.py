@@ -1,9 +1,20 @@
-"""Command-line driver: ``python -m repro.checks [--format text|json] [paths…]``.
+"""Command-line driver: ``python -m repro.checks [options] [paths…]``.
 
-Exit status is 0 when no findings (and no unparseable files) remain,
-1 when findings exist, 2 on usage errors — so the CI ``checks`` job can
-gate on it directly.  ``--format json`` emits a machine-readable report
-(the artifact CI uploads); ``--list-rules`` prints the rule catalogue.
+Exit status is 0 when no findings (and no unparseable files) remain
+after baseline subtraction, 1 when findings exist, 2 on usage errors —
+so the CI ``checks`` job can gate on it directly.
+
+* ``--format json`` emits the machine-readable report CI uploads as an
+  artifact; ``--format sarif`` emits SARIF 2.1.0 for GitHub code
+  scanning.
+* ``--baseline FILE`` subtracts the committed baseline so new rules
+  land without a big-bang cleanup; ``--write-baseline`` (re)writes the
+  file from the current scan instead of failing on it.
+* ``--list-rules`` prints the rule catalogue.
+
+The default scan surface is every tree the repository gates: ``src``,
+``benchmarks`` and ``examples`` (directories that do not exist are
+skipped, so the CLI works from a partial checkout).
 """
 
 from __future__ import annotations
@@ -11,14 +22,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence, TextIO
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from repro.checks.baseline import apply_baseline, load_baseline, save_baseline, write_baseline
 from repro.checks.findings import Finding
-from repro.checks.registry import all_rules, select_rules, run_rules
-from repro.checks.source import load_sources
+from repro.checks.registry import BaseRule, ProjectRule, all_rules, select_rules, run_rules
+from repro.checks.sarif import sarif_report
+from repro.checks.source import ModuleSource, load_sources
 
 #: Pseudo rule id used for files that fail to parse.
 PARSE_RULE_ID = "PARSE"
+
+#: Trees scanned when no paths are given (missing ones are skipped).
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,12 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to check (default: src)",
+        default=None,
+        help="files or directories to check (default: src benchmarks examples)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -42,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         default=None,
         help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="subtract the findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -54,31 +82,55 @@ def build_parser() -> argparse.ArgumentParser:
 def list_rules(stream: TextIO) -> None:
     for rule in all_rules():
         scope = ", ".join(rule.packages) if rule.packages else "all packages"
+        tier = "whole-program" if isinstance(rule, ProjectRule) else "per-file"
         stream.write(f"{rule.id}  {rule.summary}\n")
-        stream.write(f"        scope: {scope}\n")
+        stream.write(f"        scope: {scope} [{tier}]\n")
 
 
-def collect_findings(paths: Sequence[str], rule_ids: Optional[Sequence[str]]) -> List[Finding]:
+def default_paths() -> List[str]:
+    present = [path for path in DEFAULT_PATHS if Path(path).is_dir()]
+    return present or [DEFAULT_PATHS[0]]
+
+
+def collect_findings(
+    paths: Sequence[str], rule_ids: Optional[Sequence[str]]
+) -> Tuple[List[Finding], List[ModuleSource]]:
+    """Scan ``paths``; returns sorted findings plus the parsed sources."""
     sources, errors = load_sources(paths)
     findings = [
         Finding(path=path, line=line or 1, column=0, rule_id=PARSE_RULE_ID, message=message)
         for path, line, message in errors
     ]
     findings.extend(run_rules(sources, select_rules(rule_ids)))
-    return sorted(findings)
+    return sorted(findings), sources
 
 
-def render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+def line_lookup(sources: Sequence[ModuleSource]) -> Callable[[str, int], str]:
+    """``(path, line) -> source text`` for fingerprints, tolerant of misses."""
+    by_path: Dict[str, Sequence[str]] = {source.path: source.lines for source in sources}
+
+    def lookup(path: str, line: int) -> str:
+        lines = by_path.get(path, ())
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+    return lookup
+
+
+def render_text(findings: Sequence[Finding], stream: TextIO, suppressed: int = 0) -> None:
     for finding in findings:
         stream.write(finding.render() + "\n")
     noun = "finding" if len(findings) == 1 else "findings"
-    stream.write(f"{len(findings)} {noun}\n")
+    tail = f" ({suppressed} baselined)" if suppressed else ""
+    stream.write(f"{len(findings)} {noun}{tail}\n")
 
 
-def render_json(findings: Sequence[Finding], stream: TextIO) -> None:
+def render_json(findings: Sequence[Finding], stream: TextIO, suppressed: int = 0) -> None:
     report = {
         "findings": [finding.as_dict() for finding in findings],
         "count": len(findings),
+        "baselined": suppressed,
     }
     json.dump(report, stream, indent=2, sort_keys=True)
     stream.write("\n")
@@ -91,15 +143,43 @@ def main(argv: Optional[Sequence[str]] = None, stream: Optional[TextIO] = None) 
     if options.list_rules:
         list_rules(out)
         return 0
+    if options.write_baseline and not options.baseline:
+        parser.error("--write-baseline requires --baseline FILE")
     rule_ids: Optional[List[str]] = None
     if options.rules:
         rule_ids = [part.strip() for part in options.rules.split(",") if part.strip()]
+    paths: List[str] = options.paths if options.paths else default_paths()
     try:
-        findings = collect_findings(options.paths, rule_ids)
+        rules: List[BaseRule] = select_rules(rule_ids)
     except KeyError as exc:
         parser.error(f"unknown rule id {exc.args[0]!r}")
+    findings, sources = collect_findings(paths, rule_ids)
+    lookup = line_lookup(sources)
+
+    if options.write_baseline:
+        save_baseline(Path(options.baseline), write_baseline(findings, lookup))
+        out.write(f"wrote {len(findings)} finding(s) to {options.baseline}\n")
+        return 0
+
+    suppressed = 0
+    if options.baseline:
+        baseline_path = Path(options.baseline)
+        if not baseline_path.is_file():
+            parser.error(
+                f"baseline file {options.baseline!r} does not exist "
+                "(create it with --write-baseline)"
+            )
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline: {exc}")
+        findings, suppressed = apply_baseline(findings, baseline, lookup)
+
     if options.format == "json":
-        render_json(findings, out)
+        render_json(findings, out, suppressed)
+    elif options.format == "sarif":
+        json.dump(sarif_report(findings, rules, lookup), out, indent=2, sort_keys=True)
+        out.write("\n")
     else:
-        render_text(findings, out)
+        render_text(findings, out, suppressed)
     return 1 if findings else 0

@@ -2,11 +2,12 @@
 
 Importing this package registers every built-in rule with
 :mod:`repro.checks.registry`.  Third-party or experiment-local rules can
-be added the same way: subclass :class:`repro.checks.registry.Rule`,
+be added the same way: subclass :class:`repro.checks.registry.Rule` (or
+:class:`repro.checks.registry.ProjectRule` for whole-program rules),
 decorate with :func:`repro.checks.registry.register`, and import the
 module before running the suite.
 """
 
-from repro.checks.rules import contracts, determinism
+from repro.checks.rules import architecture, concurrency, contracts, determinism, exceptions, seedflow
 
-__all__ = ["contracts", "determinism"]
+__all__ = ["architecture", "concurrency", "contracts", "determinism", "exceptions", "seedflow"]

@@ -87,9 +87,11 @@ class EnvironmentSeamRule(Rule):
         "reads, and each one is read exactly once, in a function named "
         "*_from_env (workers_from_env, profile_from_env, …). A stray "
         "os.environ.get elsewhere is an undocumented knob that changes "
-        "behaviour between hosts without appearing in any run manifest."
+        "behaviour between hosts without appearing in any run manifest. "
+        "Driver trees (benchmarks/, examples/) are gated too — a bench "
+        "conftest knob is still a knob."
     )
-    packages = ("repro",)
+    packages = ("repro", "benchmarks", "examples")
 
     def check(self, source: ModuleSource) -> Iterator[Finding]:
         aliases = import_aliases(source.tree, ("os",))

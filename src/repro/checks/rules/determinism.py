@@ -13,7 +13,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.checks.astutil import import_aliases
+from repro.checks.astutil import ImportMap
 from repro.checks.findings import Finding
 from repro.checks.registry import Rule, register
 from repro.checks.source import ModuleSource
@@ -26,50 +26,59 @@ _BANNED_TIME_ATTRS = frozenset(
 #: Packages whose behaviour must be a pure function of the seed.
 _SIM_PACKAGES = ("repro.sim", "repro.transport", "repro.routing", "repro.mac")
 
+#: Driver trees gated alongside the library (benchmarks get a
+#: wall-clock carve-out: measuring elapsed time is their whole job).
+_DRIVER_PACKAGES = ("benchmarks", "examples")
+
 
 @register
 class AmbientEntropyRule(Rule):
     """DET001: no ambient entropy sources inside simulation code."""
 
     id = "DET001"
-    summary = "no module-level RNG, wall-clock or uuid inside simulation packages"
+    summary = "no module-level RNG, wall-clock or uuid inside simulation packages or drivers"
     rationale = (
         "Runs must be bit-identical functions of the scenario seed. The only "
         "sanctioned randomness is a random.Random seeded through the "
         "repro.sim.random streams; time.time/perf_counter, os.urandom and "
-        "uuid inject host state that breaks replay."
+        "uuid inject host state that breaks replay. Benchmark drivers are "
+        "gated too (their recorded numbers must replay), with wall-clock "
+        "reads allowed — timing the run is what a benchmark is for."
     )
-    packages = _SIM_PACKAGES
+    packages = _SIM_PACKAGES + _DRIVER_PACKAGES
 
     def check(self, source: ModuleSource) -> Iterator[Finding]:
-        aliases = import_aliases(source.tree, ("random", "time", "os", "uuid"))
+        imap = ImportMap.from_tree(source.tree, module=source.module)
+        allow_wall_clock = source.in_package(("benchmarks",))
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ImportFrom) and node.level == 0:
-                yield from self._check_import_from(source, node)
-            elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
-                module = aliases.get(node.value.id)
+                yield from self._check_import_from(source, node, allow_wall_clock)
+            elif isinstance(node, ast.Attribute):
+                module = imap.resolve(node.value)
                 if module is None:
                     continue
-                message = self._attribute_violation(module, node.attr)
+                message = self._attribute_violation(module, node.attr, allow_wall_clock)
                 if message is not None:
                     yield self.finding(source, node.lineno, node.col_offset, message)
 
-    def _check_import_from(self, source: ModuleSource, node: ast.ImportFrom) -> Iterator[Finding]:
+    def _check_import_from(
+        self, source: ModuleSource, node: ast.ImportFrom, allow_wall_clock: bool
+    ) -> Iterator[Finding]:
         module = node.module or ""
         for alias in node.names:
-            message = self._attribute_violation(module, alias.name)
+            message = self._attribute_violation(module, alias.name, allow_wall_clock)
             if message is not None:
                 yield self.finding(source, node.lineno, node.col_offset, f"import of {message}")
 
     @staticmethod
-    def _attribute_violation(module: str, attr: str) -> Optional[str]:
+    def _attribute_violation(module: str, attr: str, allow_wall_clock: bool = False) -> Optional[str]:
         """Message if ``module.attr`` is an ambient entropy source."""
         if module == "random" and attr != "Random":
             return (
                 f"random.{attr} uses the process-global RNG; draw from a "
                 "seeded stream (repro.sim.random.RandomStreams) instead"
             )
-        if module == "time" and attr in _BANNED_TIME_ATTRS:
+        if module == "time" and attr in _BANNED_TIME_ATTRS and not allow_wall_clock:
             return (
                 f"time.{attr} reads the wall clock; simulation code must "
                 "use Simulator.now so runs replay bit-identically"
@@ -158,7 +167,7 @@ class UnorderedIterationRule(Rule):
         "in sorted(...), or pin the insertion order and say so in a "
         "'# repro: allow[DET002]' pragma."
     )
-    packages = _SIM_PACKAGES + ("repro.experiments",)
+    packages = _SIM_PACKAGES + ("repro.experiments",) + _DRIVER_PACKAGES
 
     def check(self, source: ModuleSource) -> Iterator[Finding]:
         aliases = self._module_aliases(source.tree)

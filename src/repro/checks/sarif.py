@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 output for ``python -m repro.checks --format sarif``.
+
+SARIF is the interchange format GitHub code scanning ingests: one
+``run`` with a ``tool.driver`` describing the rules and one ``result``
+per finding, each carrying a physical location (1-based line, 1-based
+column — note the off-by-one against our 0-based columns) and a stable
+``partialFingerprints`` entry so the scanning UI can track a finding
+across commits.  The fingerprint is the same one the baseline file
+uses (:mod:`repro.checks.baseline`), so "baselined in CI" and
+"deduplicated by code scanning" agree about identity.
+
+Only stdlib ``json`` shapes here — the renderer returns a plain dict;
+the CLI serialises it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.checks.baseline import finding_fingerprint, posix_path
+from repro.checks.findings import Finding
+from repro.checks.registry import BaseRule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro.checks"
+TOOL_URI = "docs/checks.md"
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    rules: Sequence[BaseRule],
+    line_text: Optional[Callable[[str, int], str]] = None,
+) -> Dict[str, object]:
+    """The SARIF document for a finished scan, as a JSON-ready dict.
+
+    ``line_text`` maps ``(path, line)`` to the flagged source line; it
+    feeds the cross-commit fingerprint and defaults to empty (the
+    fingerprint then pins only path+rule+message position).
+    """
+    rule_ids = sorted({rule.id for rule in rules} | {finding.rule_id for finding in findings})
+    by_id = {rule.id: rule for rule in rules}
+    rules_array: List[Dict[str, object]] = []
+    for rule_id in rule_ids:
+        rule = by_id.get(rule_id)
+        descriptor: Dict[str, object] = {
+            "id": rule_id,
+            "shortDescription": {"text": rule.summary if rule else "file failed to parse"},
+        }
+        if rule is not None and rule.rationale:
+            descriptor["fullDescription"] = {"text": rule.rationale}
+            descriptor["helpUri"] = TOOL_URI
+        rules_array.append(descriptor)
+    index = {rule_id: position for position, rule_id in enumerate(rule_ids)}
+
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        text = line_text(finding.path, finding.line) if line_text is not None else ""
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": index[finding.rule_id],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": posix_path(finding.path)},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproChecks/v1": finding_fingerprint(finding, text),
+                },
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules_array,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -31,18 +31,21 @@ class ModuleSource:
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
     pragmas: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    spans: List[Tuple[int, int]] = field(default_factory=list)
 
     @classmethod
     def from_text(cls, text: str, path: str = "<memory>", module: str = "") -> "ModuleSource":
         """Parse source text (fixture entry point for the rule tests)."""
         lines = text.splitlines()
+        tree = ast.parse(text, filename=path)
         return cls(
             path=path,
             module=module or module_name_for(Path(path)),
             text=text,
-            tree=ast.parse(text, filename=path),
+            tree=tree,
             lines=lines,
             pragmas=parse_pragmas(lines),
+            spans=statement_spans(tree),
         )
 
     @classmethod
@@ -52,8 +55,24 @@ class ModuleSource:
         return cls.from_text(p.read_text(), path=str(p), module=module_name_for(p))
 
     def allows(self, rule_id: str, line: int) -> bool:
-        """Whether a ``# repro: allow[...]`` pragma suppresses this line."""
-        return is_allowed(self.pragmas, rule_id, line)
+        """Whether a ``# repro: allow[...]`` pragma suppresses this line.
+
+        A pragma suppresses a finding on its own line or the line below
+        (the classic forms), and — because findings anchor to the
+        ``def``/statement line while the pragma naturally sits above the
+        decorator or a multi-line statement — anywhere within the same
+        statement span, including the line directly above the span.
+        """
+        if is_allowed(self.pragmas, rule_id, line):
+            return True
+        rule_id = rule_id.upper()
+        for start, end in self.spans:
+            if not (start <= line <= end):
+                continue
+            for pragma_line, ids in self.pragmas.items():
+                if rule_id in ids and (start - 1 <= pragma_line <= end):
+                    return True
+        return False
 
     def in_package(self, packages: Sequence[str]) -> bool:
         """Whether this module lives under any of the dotted prefixes."""
@@ -61,6 +80,32 @@ class ModuleSource:
             if self.module == prefix or self.module.startswith(prefix + "."):
                 return True
         return False
+
+
+def statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """1-based ``(start, end)`` line spans of every statement header.
+
+    Simple statements span their full extent (a call argument list may
+    wrap over several lines).  Compound statements (``def``, ``class``,
+    ``if``, ``with``, …) span from their first decorator line to the
+    last header line *before* the body starts — a pragma above a
+    decorated ``def`` must suppress findings on the ``def`` line without
+    blanket-allowing the whole body.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(node.lineno, body[0].lineno - 1)
+        spans.append((start, end))
+    return spans
 
 
 def module_name_for(path: Path) -> str:

@@ -200,3 +200,20 @@ class TestBitIdentityAcrossWorkerCounts:
                 assert ParallelRunner(backend=backend).run_grid(specs, seeds) == serial, (
                     f"async workers={workers} diverged from serial"
                 )
+
+
+def test_terminate_is_idempotent():
+    # _Worker.terminate carries # repro: allow[EXC001] pragmas claiming
+    # its suppress(Exception) blocks are pure best-effort teardown.
+    # That claim holds only if terminate is safe on an already-dead
+    # worker with a closed pipe — i.e. calling it twice never raises.
+    import multiprocessing
+
+    from repro.experiments.scheduler import _Worker
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    worker = _Worker(ctx, name="terminate-twice")
+    worker.terminate()
+    worker.terminate()  # dead process, closed pipe: must still not raise
+    assert not worker.process.is_alive()

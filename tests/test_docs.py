@@ -101,6 +101,20 @@ class TestReadmeIndexes:
         pyproject = (REPO_ROOT / "pyproject.toml").read_text()
         assert "plots = [" in pyproject and "matplotlib" in pyproject
 
+    def test_architecture_layers_section_names_the_real_layers(self):
+        # The "Architecture layers" prose and the machine-checked DAG
+        # (repro.checks.layers.LAYERS, enforced by ARCH001) must not
+        # drift: every declared layer is named in the README section.
+        from repro.checks.layers import LAYERS
+
+        assert "## Architecture layers" in self.README
+        section = self.README.split("## Architecture layers", 1)[1].split("\n## ", 1)[0]
+        for layer in LAYERS:
+            if not layer:
+                continue  # the package root has no prose name
+            assert f"`{layer}`" in section, f"README layer map misses `{layer}`"
+        assert "ARCH001" in section
+
     def test_results_doc_is_linked_and_exists(self):
         assert "docs/results.md" in self.README
         assert (REPO_ROOT / "docs" / "results.md").exists()
