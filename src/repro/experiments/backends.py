@@ -80,6 +80,7 @@ from concurrent.futures.process import BrokenProcessPool
 from types import TracebackType
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, TypeVar
 
+from repro.experiments.remote import parse_endpoint
 from repro.experiments.scheduler import AsyncCellError, AsyncScheduler
 
 _T = TypeVar("_T")
@@ -100,6 +101,7 @@ __all__ = [
     "async_workers_from_env",
     "async_retries_from_env",
     "async_timeout_from_env",
+    "async_endpoint_from_env",
 ]
 
 
@@ -167,6 +169,22 @@ def async_timeout_from_env(default: Optional[float] = None) -> Optional[float]:
     if timeout <= 0:
         return None
     return timeout
+
+
+def async_endpoint_from_env(default: Optional[str] = None) -> Optional[str]:
+    """Remote worker endpoint for :class:`AsyncBackend` via ``REPRO_ASYNC_ENDPOINT``.
+
+    A ``tcp://host:port[,host2:port2,...]`` list naming the worker
+    agents the scheduler should connect to instead of spawning local
+    worker processes (start each agent with ``python -m
+    repro.experiments.remote --listen host:port``).  Unset (or empty)
+    returns ``default``.  The value's syntax is validated when the
+    backend is built, by :func:`repro.experiments.remote.parse_endpoint`.
+    """
+    value = os.environ.get("REPRO_ASYNC_ENDPOINT", "").strip()
+    if not value:
+        return default
+    return value
 
 
 class ExecutorBackend(ABC):
@@ -523,22 +541,32 @@ class AsyncBackend(ExecutorBackend):
     :class:`SerialBackend` for every worker count — retries and steals
     re-run pure seed-determined simulations, never reorder delivery.
 
-    ``endpoint`` is reserved for a future remote scheduler (workers on
-    other machines); today it is carried but unused — all workers are
-    local child processes.  Payloads must be picklable (there is no
+    ``endpoint`` switches the workers from local child processes to
+    remote worker agents: ``"tcp://host:port[,host2:port2,...]"`` names
+    one agent per address (start each with ``python -m
+    repro.experiments.remote --listen host:port``), validated up front
+    by :func:`repro.experiments.remote.parse_endpoint` — a malformed
+    endpoint raises :class:`ValueError` before anything connects.  The
+    same dispatch loop drives both transports, so retry, steal, timeout
+    and respawn semantics — and bit-identical aggregates — are
+    transport-agnostic.  ``workers`` defaults to one per address and
+    must match the address count when given (each agent serves exactly
+    one scheduler connection).  Payloads must be picklable (there is no
     fork-inherit fallback like :class:`ProcessBackend`'s): unpicklable
     payloads raise :class:`TypeError` up front.
 
     Constructor arguments left at ``None`` fall back to the env seams:
+    ``endpoint`` to ``REPRO_ASYNC_ENDPOINT`` (default: local workers),
     ``workers`` to ``REPRO_ASYNC_WORKERS`` (then ``os.cpu_count()``),
     ``max_retries`` to ``REPRO_ASYNC_RETRIES`` (default 2), and
     ``task_timeout`` to ``REPRO_ASYNC_TIMEOUT`` (default: no timeout).
     ``window`` defaults to ``2 * workers`` and is clamped to at least
     ``workers``; ``steal_after`` is the straggler age (seconds) before
-    an idle worker duplicates it.  ``stats`` exposes cumulative
-    scheduler counters (``retries``, ``steals``, ``respawns``,
-    ``timeouts``, ``failures``) for tests and diagnostics.  See
-    ``docs/distributed.md`` for the full architecture notes.
+    an idle worker duplicates it; ``connect_timeout`` bounds each remote
+    connection attempt.  ``stats`` exposes cumulative scheduler counters
+    (``retries``, ``steals``, ``respawns``, ``timeouts``, ``failures``)
+    for tests and diagnostics.  See ``docs/distributed.md`` for the full
+    architecture notes.
     """
 
     name = "async"
@@ -554,8 +582,22 @@ class AsyncBackend(ExecutorBackend):
         retry_max_delay: float = 2.0,
         task_timeout: Optional[float] = None,
         steal_after: float = 0.25,
+        connect_timeout: float = 5.0,
     ) -> None:
+        if endpoint is None:
+            endpoint = async_endpoint_from_env()
         self.endpoint = endpoint
+        endpoints: Optional[List[Tuple[str, int]]] = None
+        if endpoint is not None:
+            endpoints = parse_endpoint(endpoint)
+            if workers is None:
+                workers = len(endpoints)
+            elif workers != len(endpoints):
+                raise ValueError(
+                    f"workers={workers} does not match the {len(endpoints)} "
+                    f"address(es) in endpoint={endpoint!r}; each remote worker "
+                    "agent serves exactly one scheduler connection"
+                )
         if workers is None:
             workers = async_workers_from_env()
         self.workers = _positive_workers(workers)
@@ -577,6 +619,8 @@ class AsyncBackend(ExecutorBackend):
             retry_max_delay=retry_max_delay,
             task_timeout=task_timeout,
             steal_after=steal_after,
+            endpoints=endpoints,
+            connect_timeout=connect_timeout,
         )
 
     @property

@@ -1,11 +1,17 @@
 """The asyncio dispatcher behind :class:`~repro.experiments.backends.AsyncBackend`.
 
 This module is the scheduler half of the async backend: a pool of
-persistent worker *processes* (one duplex pipe each) driven by a single
-asyncio coroutine that shards a batch of tasks across them.  The
-backend-facing contract (ordered ``map``/``imap`` delivery, lazy start,
-idempotent close) lives in :mod:`repro.experiments.backends`; this
-module owns the scheduling policy:
+persistent workers driven by a single asyncio coroutine that shards a
+batch of tasks across them.  Workers are
+:class:`~repro.experiments.remote.WorkerTransport` instances — local
+child processes (one duplex pipe each) by default, or connections to
+remote TCP worker agents when the backend was built with
+``endpoint="tcp://host:port,..."`` — and the scheduling policy below is
+transport-agnostic: the same dispatch loop drives both, which is what
+lets one fault-injection suite act as the contract for every transport.
+The backend-facing contract (ordered ``map``/``imap`` delivery, lazy
+start, idempotent close) lives in :mod:`repro.experiments.backends`;
+this module owns the scheduling policy:
 
 * **Bounded in-flight window (backpressure).**  Task ``i`` is only
   dispatched once fewer than ``window`` results are unconsumed, i.e.
@@ -21,19 +27,21 @@ module owns the scheduling policy:
   by sequence number.  Duplicating a pure, seed-determined simulation
   is always safe, so stragglers cannot serialise the tail of a batch.
 * **Retry with capped exponential backoff.**  A task attempt ends in
-  success, a worker-side exception, a dead worker (crash / SIGKILL),
-  or a per-task timeout.  Failed attempts are retried up to
-  ``max_retries`` times, waiting ``min(retry_max_delay,
+  success, a worker-side exception, a dead worker (crash / SIGKILL /
+  lost connection), or a per-task timeout.  Failed attempts are
+  retried up to ``max_retries`` times, waiting ``min(retry_max_delay,
   retry_base_delay * 2**(attempt-1))`` between attempts; dead workers
-  are respawned.  A task that exhausts its retries fails the batch
-  with :class:`AsyncCellError` naming every failed cell — never a
-  silent hole in a result grid.
+  are respawned — a fresh local process, or a fresh connection to the
+  same remote agent, paced by the same backoff.  A task that exhausts
+  its retries fails the batch with :class:`AsyncCellError` naming
+  every failed cell — never a silent hole in a result grid.
 
-The dispatch coroutine multiplexes all worker pipes (and process death
-sentinels) through :func:`multiprocessing.connection.wait` on a
-single-thread executor, so one coroutine observes completions, crashes
-and deadlines without a thread per worker.  Results are delivered to
-the consuming thread through a queue, strictly in submission order.
+The dispatch coroutine multiplexes every transport's wait handles
+(pipes and process death sentinels locally, sockets remotely) through
+:func:`multiprocessing.connection.wait` on a single-thread executor, so
+one coroutine observes completions, crashes and deadlines without a
+thread per worker.  Results are delivered to the consuming thread
+through a queue, strictly in submission order.
 
 Determinism: scheduling (stealing, retries, worker death) never
 reorders *delivery* — results are matched to submission slots by index
@@ -49,15 +57,25 @@ import multiprocessing
 import pickle
 import queue
 import threading
-import traceback
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import suppress
 from dataclasses import dataclass
 from functools import partial
-from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
-from typing import Any, Callable, Deque, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.experiments.remote import LocalProcessTransport, TcpTransport, WorkerTransport
 
 __all__ = ["AsyncCellError", "AsyncScheduler", "CellFailure"]
 
@@ -102,85 +120,6 @@ class AsyncCellError(RuntimeError):
         )
 
 
-def _describe_exception(exc: BaseException) -> str:
-    """A compact worker-side failure description (type, message, tail frames)."""
-    rendered = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__, limit=8))
-    return rendered[-2000:]
-
-
-def _worker_main(conn: Connection) -> None:
-    """Worker-process loop: receive ``(seq, token, fn_bytes, item)``, reply.
-
-    Replies are ``(seq, True, result)`` or ``(seq, False, error_text)``.
-    The callable is pickled once per batch by the parent and cached here
-    by its batch token, so per-task messages stay small.  Any exception
-    — including a result that fails to pickle on the way back — is
-    reported as a failed attempt rather than killing the worker.
-    """
-    fn_token: Optional[int] = None
-    fn: Optional[Callable[[Any], Any]] = None
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            return
-        seq, token, fn_bytes, item = message
-        try:
-            if fn is None or fn_token != token:
-                fn = pickle.loads(fn_bytes)
-                fn_token = token
-            assert fn is not None
-            result = fn(item)
-        except BaseException as exc:  # noqa: B036 - attempt failure, reported to the parent
-            with suppress(OSError, ValueError):
-                conn.send((seq, False, _describe_exception(exc)))
-            continue
-        try:
-            conn.send((seq, True, result))
-        except (OSError, BrokenPipeError):
-            return
-        except Exception as exc:  # unpicklable result
-            with suppress(OSError, ValueError):
-                conn.send((seq, False, f"result could not be pickled: {exc!r}"))
-
-
-class _Worker:
-    """A live worker process plus the parent end of its pipe.
-
-    ``current`` is the in-flight assignment ``(index, seq, started)``
-    or ``None`` when idle; the globally unique ``seq`` is what lets the
-    dispatcher discard stale results (from a stolen task's losing copy,
-    or from a batch that was aborted mid-flight)."""
-
-    __slots__ = ("conn", "current", "process")
-
-    def __init__(self, ctx: Any, name: str) -> None:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True, name=name)
-        self.process.start()
-        child_conn.close()
-        self.conn: Connection = parent_conn
-        self.current: Optional[Tuple[int, int, float]] = None
-
-    def terminate(self) -> None:
-        # Best-effort teardown of a worker that is already failed or
-        # finished: kill/join/close may each raise on a dead process or
-        # closed pipe, and an error here must never mask the batch's
-        # real failure.  Idempotence is pinned by a test
-        # (test_async_backend.py::test_terminate_is_idempotent).
-        # repro: allow[EXC001] best-effort teardown; double-terminate test pins safety
-        with suppress(Exception):
-            self.process.kill()
-        # repro: allow[EXC001] best-effort teardown; double-terminate test pins safety
-        with suppress(Exception):
-            self.process.join(timeout=2.0)
-        # repro: allow[EXC001] best-effort teardown; double-terminate test pins safety
-        with suppress(Exception):
-            self.conn.close()
-
-
 class _Call:
     """One in-flight batch: the result stream plus consumer feedback.
 
@@ -219,12 +158,19 @@ class AsyncScheduler:
     """Dispatch batches over persistent worker processes (see module docs).
 
     One scheduler serves many sequential batches; workers are spawned
-    lazily on the first batch and reused until :meth:`close`.  Batches
-    are serialised by an internal lock — the backend's ordered-delivery
-    contract has no use for interleaved batches.  ``stats`` accumulates
-    scheduling events (``retries``, ``steals``, ``respawns``,
-    ``timeouts``, ``failures``) across the scheduler's lifetime, which
-    is what the fault-injection tests assert against.
+    lazily on the first batch and reused until :meth:`close`.  With
+    ``endpoints=None`` every worker slot is a local child process
+    (:class:`~repro.experiments.remote.LocalProcessTransport`);
+    otherwise slots are :class:`~repro.experiments.remote.TcpTransport`
+    connections assigned round-robin over the ``(host, port)`` list.
+    Batches are serialised by an internal lock — the backend's
+    ordered-delivery contract has no use for interleaved batches.
+    ``stats`` accumulates scheduling events (``retries``, ``steals``,
+    ``respawns``, ``timeouts``, ``failures``) across the scheduler's
+    lifetime, which is what the fault-injection tests assert against.
+    (Over TCP, ``respawns`` counts scheduler-side reconnects; an agent
+    respawning its own crashed child is reported back as a plain failed
+    attempt and lands in ``retries``.)
     """
 
     def __init__(
@@ -236,8 +182,14 @@ class AsyncScheduler:
         retry_max_delay: float,
         task_timeout: Optional[float],
         steal_after: float,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        connect_timeout: float = 5.0,
     ) -> None:
         self.workers = int(workers)
+        self.endpoints: Optional[Tuple[Tuple[str, int], ...]] = (
+            None if endpoints is None else tuple((str(h), int(p)) for h, p in endpoints)
+        )
+        self.connect_timeout = float(connect_timeout)
         self.window = max(int(window), self.workers)
         self.max_retries = int(max_retries)
         self.retry_base_delay = float(retry_base_delay)
@@ -253,12 +205,11 @@ class AsyncScheduler:
         }
         start_methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context("fork" if "fork" in start_methods else "spawn")
-        self._workers: List[_Worker] = []
+        self._workers: List[WorkerTransport] = []
         self._io: Optional[ThreadPoolExecutor] = None
         self._lifecycle_lock = threading.Lock()
         self._call_lock = threading.Lock()
         self._seq = 0
-        self._spawned = 0
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -267,7 +218,13 @@ class AsyncScheduler:
         return bool(self._workers)
 
     def worker_pids(self) -> FrozenSet[int]:
-        return frozenset(w.process.pid for w in self._workers if w.process.pid is not None)
+        """PIDs of the processes executing cells, where known.
+
+        Local transports always know their child's PID; a TCP transport
+        learns the agent child's PID from the hello frame, so this is
+        empty for remote workers that have not connected yet.
+        """
+        return frozenset(pid for pid in (w.pid for w in self._workers) if pid is not None)
 
     def close(self) -> None:
         with self._lifecycle_lock:
@@ -278,14 +235,16 @@ class AsyncScheduler:
         if io is not None:
             io.shutdown(wait=False)
 
-    def _spawn_worker(self) -> _Worker:
-        self._spawned += 1
-        return _Worker(self._ctx, name=f"repro-async-worker-{self._spawned}")
+    def _spawn_worker(self, slot: int) -> WorkerTransport:
+        if self.endpoints:
+            host, port = self.endpoints[slot % len(self.endpoints)]
+            return TcpTransport(host, port, self.connect_timeout)
+        return LocalProcessTransport(self._ctx)
 
     def _ensure_started(self) -> ThreadPoolExecutor:
         with self._lifecycle_lock:
             while len(self._workers) < self.workers:
-                self._workers.append(self._spawn_worker())
+                self._workers.append(self._spawn_worker(len(self._workers)))
             if self._io is None:
                 self._io = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-async-io")
             return self._io
@@ -320,13 +279,14 @@ class AsyncScheduler:
         # consumer that abandoned the stream) can leave workers still
         # chewing on its tasks; their eventual replies must not be
         # mistaken for this batch's.  Replace them with fresh workers —
-        # their assignment state (and any straggling reply in the pipe)
-        # dies with the process.
+        # their assignment state (and any straggling reply in flight)
+        # dies with the process or the connection.
         with self._lifecycle_lock:
             for worker in [w for w in self._workers if w.current is not None]:
                 self._workers.remove(worker)
+                replacement = worker.respawn()
                 worker.terminate()
-                self._workers.append(self._spawn_worker())
+                self._workers.append(replacement)
                 self.stats["respawns"] += 1
         self._seq += 1
         token = self._seq
@@ -373,7 +333,7 @@ class AsyncScheduler:
                 heapq.heappush(retry_heap, (loop.time() + delay, index))
                 self.stats["retries"] += 1
 
-        def end_assignment(worker: _Worker) -> Optional[int]:
+        def end_assignment(worker: WorkerTransport) -> Optional[int]:
             current, worker.current = worker.current, None
             if current is None:
                 return None
@@ -381,21 +341,25 @@ class AsyncScheduler:
             live[index] = max(live.get(index, 1) - 1, 0)
             return index
 
-        def worker_died(worker: _Worker, error: str) -> None:
+        def worker_died(worker: WorkerTransport, error: str) -> None:
             if worker not in self._workers:
                 return  # already handled via another path
             self._workers.remove(worker)
             index = end_assignment(worker)
+            replacement = worker.respawn()
             worker.terminate()
-            self._workers.append(self._spawn_worker())
+            self._workers.append(replacement)
             self.stats["respawns"] += 1
             if index is not None:
                 fail_attempt(index, error)
 
-        def drain(worker: _Worker) -> None:
+        def drain(worker: WorkerTransport) -> None:
             try:
-                while worker.conn.poll():
-                    seq, ok, payload = worker.conn.recv()
+                while worker.poll():
+                    reply = worker.recv()
+                    if reply is None:
+                        continue  # control frame (heartbeat) from a remote agent
+                    seq, ok, payload = reply
                     current = worker.current
                     if current is None or current[1] != seq:
                         continue  # stale: an aborted batch or a steal's losing copy
@@ -449,9 +413,9 @@ class AsyncScheduler:
                 worker.current = (index, seq, now)
                 live[index] = live.get(index, 0) + 1
                 try:
-                    worker.conn.send((seq, token, fn_bytes, items[index]))
-                except (OSError, ValueError):
-                    worker_died(worker, "worker unreachable at dispatch")
+                    worker.send((seq, token, fn_bytes, items[index]))
+                except (OSError, ValueError) as exc:
+                    worker_died(worker, f"worker unreachable at dispatch: {exc}")
                     continue
                 if stolen:
                     self.stats["steals"] += 1
@@ -461,8 +425,9 @@ class AsyncScheduler:
             while retry_heap and retry_heap[0][0] <= now:
                 ready.append(heapq.heappop(retry_heap)[1])
             dispatch_to_idle(now)
-            wait_objects: List[Any] = [w.conn for w in self._workers]
-            wait_objects.extend(w.process.sentinel for w in self._workers)
+            wait_objects: List[Any] = []
+            for w in self._workers:
+                wait_objects.extend(w.wait_handles())
             await loop.run_in_executor(
                 io, partial(connection_wait, wait_objects, _TICK_SECONDS)
             )
@@ -470,7 +435,7 @@ class AsyncScheduler:
             for worker in list(self._workers):
                 drain(worker)
             for worker in list(self._workers):
-                if not worker.process.is_alive():
+                if not worker.is_alive():
                     drain(worker)  # salvage any result buffered before death
                     worker_died(worker, "worker process died mid-cell")
             if self.task_timeout is not None:
@@ -478,12 +443,13 @@ class AsyncScheduler:
                     current = worker.current
                     if current is None or now - current[2] <= self.task_timeout:
                         continue
-                    if worker.conn.poll():
+                    if worker.poll():
                         continue  # result raced in; picked up next iteration
                     self.stats["timeouts"] += 1
-                    # repro: allow[EXC001] killing a hung worker is best-effort; worker_died records the failure
-                    with suppress(Exception):
-                        worker.process.kill()
+                    # kill() is the transport's hard stop: SIGKILL for a
+                    # local child, dropping the connection for a remote
+                    # agent (which aborts the cell agent-side).
+                    worker.kill()
                     worker_died(
                         worker,
                         f"cell exceeded task_timeout={self.task_timeout:g}s and was killed",

@@ -2,11 +2,15 @@
 
 import multiprocessing
 import os
+import pickle
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments.backends import (
     AsyncBackend,
@@ -14,6 +18,7 @@ from repro.experiments.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    async_endpoint_from_env,
     async_retries_from_env,
     async_timeout_from_env,
     async_workers_from_env,
@@ -41,6 +46,22 @@ def _square(value):
 
 def _kill_worker(_value):  # pragma: no cover - runs (and dies) in a pool worker
     os._exit(1)
+
+
+def _flaky_eval(arg):
+    """Deterministic fault injection: fail the first ``fails`` attempts.
+
+    Attempt counts persist in per-item files so retries (fresh worker
+    processes) observe earlier attempts.  With ``fails=0`` this is a
+    pure function of ``value`` — the serial reference.
+    """
+    directory, index, value, fails = arg
+    counter = Path(directory) / f"attempts-{index}"
+    seen = int(counter.read_text()) if counter.exists() else 0
+    if seen < fails:
+        counter.write_text(str(seen + 1))
+        raise RuntimeError(f"injected failure {seen + 1}/{fails} for item {index}")
+    return (value * value, value + 7)
 
 
 class TestSerialBackend:
@@ -238,11 +259,12 @@ class TestThreadBackend:
 
 class TestAsyncBackend:
     def test_is_a_backend_and_carries_configuration(self):
-        backend = AsyncBackend(endpoint="scheduler:9999", workers=8)
+        backend = AsyncBackend(endpoint="tcp://scheduler:9999")
         assert isinstance(backend, ExecutorBackend)
-        assert backend.endpoint == "scheduler:9999"
-        assert backend.workers == 8
+        assert backend.endpoint == "tcp://scheduler:9999"
+        assert backend.workers == 1  # one connection per endpoint address
         assert backend.name == "async"
+        backend.close()
 
     def test_map_and_imap_agree(self):
         with AsyncBackend(workers=2) as backend:
@@ -426,3 +448,77 @@ class TestAsyncEnvSeams:
         # Zero or negative disables the per-cell timeout entirely.
         monkeypatch.setenv("REPRO_ASYNC_TIMEOUT", "0")
         assert async_timeout_from_env() is None
+
+    def test_async_endpoint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_ENDPOINT", raising=False)
+        assert async_endpoint_from_env() is None
+        assert async_endpoint_from_env(default="tcp://x:1") == "tcp://x:1"
+        monkeypatch.setenv("REPRO_ASYNC_ENDPOINT", "tcp://127.0.0.1:9")
+        assert async_endpoint_from_env() == "tcp://127.0.0.1:9"
+        backend = AsyncBackend()
+        assert backend.endpoint == "tcp://127.0.0.1:9"
+        assert backend.workers == 1
+        backend.close()
+        # A malformed env endpoint fails at construction, not first use.
+        monkeypatch.setenv("REPRO_ASYNC_ENDPOINT", "not-an-endpoint")
+        with pytest.raises(ValueError):
+            AsyncBackend()
+
+
+class TestAsyncEndpointValidation:
+    @pytest.mark.parametrize(
+        "endpoint",
+        [
+            "",
+            "   ",
+            "scheduler:9999",  # no scheme
+            "udp://host:1",  # wrong scheme
+            "tcp://",  # no address
+            "tcp://host",  # no port
+            "tcp://host:0",  # port out of range
+            "tcp://host:99999",  # port out of range
+            "tcp://host:http",  # non-numeric port
+            "tcp://h:1,,h:2",  # empty address in the list
+        ],
+    )
+    def test_malformed_endpoints_rejected_up_front(self, endpoint):
+        with pytest.raises(ValueError):
+            AsyncBackend(endpoint=endpoint)
+
+    def test_workers_default_to_one_per_address(self):
+        backend = AsyncBackend(endpoint="tcp://a:1,b:2,c:3")
+        assert backend.workers == 3
+        backend.close()
+
+    def test_worker_count_must_match_address_count(self):
+        with pytest.raises(ValueError, match="does not match"):
+            AsyncBackend(endpoint="tcp://a:1,b:2", workers=3)
+
+
+@st.composite
+def _fault_grids(draw):
+    values = draw(st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+    fails = draw(
+        st.lists(st.integers(0, 2), min_size=len(values), max_size=len(values))
+    )
+    workers = draw(st.integers(1, 3))
+    return values, fails, workers
+
+
+class TestAsyncPropertyBitIdentity:
+    @given(grid=_fault_grids())
+    @settings(max_examples=8, deadline=None)
+    def test_imap_order_and_aggregates_match_serial_under_faults(self, grid):
+        # For random grids, worker counts and injected fault schedules,
+        # imap delivery order and the aggregate payload must be
+        # byte-identical to the serial backend: retries and steals
+        # re-run deterministic cells, never reorder delivery.
+        values, fails, workers = grid
+        pure_items = [(".", i, v, 0) for i, v in enumerate(values)]
+        serial = SerialBackend().map(_flaky_eval, pure_items)
+        with tempfile.TemporaryDirectory() as tmp:
+            items = [(tmp, i, v, f) for i, (v, f) in enumerate(zip(values, fails))]
+            with AsyncBackend(workers=workers, max_retries=3, retry_base_delay=0.01) as backend:
+                streamed = list(backend.imap(_flaky_eval, items))
+        assert streamed == serial
+        assert pickle.dumps(streamed) == pickle.dumps(serial)

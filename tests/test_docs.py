@@ -92,6 +92,7 @@ class TestReadmeIndexes:
             "REPRO_ASYNC_WORKERS",
             "REPRO_ASYNC_RETRIES",
             "REPRO_ASYNC_TIMEOUT",
+            "REPRO_ASYNC_ENDPOINT",
         ):
             assert variable in self.README, f"README env-var table misses {variable}"
 
@@ -130,6 +131,34 @@ class TestReadmeIndexes:
         from repro.experiments.backends import AsyncBackend
 
         assert "stub" not in (AsyncBackend.__doc__ or "").lower()
+        # "endpoint is reserved for a future remote scheduler" is gone
+        # ("preserved" is fine — hence the word boundary).
+        assert not re.search(r"\breserved\b", (AsyncBackend.__doc__ or "").lower())
+
+    def test_remote_transport_is_documented(self):
+        # The remote-transport section: agent CLI, env seam, every
+        # protocol frame, reconnect semantics, and the security note.
+        doc = (REPO_ROOT / "docs" / "distributed.md").read_text()
+        for needle in (
+            "python -m repro.experiments.remote",
+            "REPRO_ASYNC_ENDPOINT",
+            '"hello"',
+            '"task"',
+            '"result"',
+            '"heartbeat"',
+            "respawn",
+            "trusted networks",
+        ):
+            assert needle in doc, f"distributed.md misses {needle!r}"
+        assert "REPRO_ASYNC_ENDPOINT" in self.README
+        assert "tcp://" in self.README
+
+    def test_documented_protocol_frames_match_the_code(self):
+        from repro.experiments import remote
+
+        doc = (REPO_ROOT / "docs" / "distributed.md").read_text()
+        assert "protocol version" in doc
+        assert remote.PROTOCOL_VERSION == 1  # bump the docs when this moves
 
 
 class TestListFiguresCli:

@@ -14,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.backends import SerialBackend
+from repro.experiments.backends import AsyncBackend, SerialBackend
 from repro.experiments.presets import run_paper
 from repro.experiments.results import CELLS_DIR_NAME, CellStore, cell_key
 
@@ -142,6 +142,53 @@ class TestResume:
         run_paper(figures=["figure3c"], seeds="smoke", out_dir=out)
         assert list((out / CELLS_DIR_NAME).glob("*.pkl")) == []
         assert cells_metadata(out) == {"reused": 0, "computed": 0}
+
+
+class TestCrossTransportResume:
+    """Cell provenance is transport-agnostic: a sweep interrupted on one
+    transport resumes on another, computing only the missing cells and
+    producing byte-identical rows."""
+
+    def test_tcp_interrupt_resumes_on_serial(self, tmp_path, tcp_agents):
+        reference = tmp_path / "reference"
+        interrupted = tmp_path / "interrupted"
+        paper_smoke(reference)
+
+        endpoint = tcp_agents(2)
+        with AsyncBackend(endpoint=endpoint) as backend:
+            with pytest.raises(Interrupted):
+                paper_smoke(interrupted, backend=backend, progress=InterruptAfter(3))
+        persisted = len(list((interrupted / CELLS_DIR_NAME).glob("*.pkl")))
+        assert 0 < persisted < TOTAL_CELLS, "the interrupt must land mid-run"
+
+        backend = SerialBackend()
+        paper_smoke(interrupted, backend=backend)
+        assert backend.tasks_submitted == TOTAL_CELLS - persisted
+        assert cells_metadata(interrupted) == {
+            "reused": persisted,
+            "computed": TOTAL_CELLS - persisted,
+        }
+        assert figure_bytes(interrupted) == figure_bytes(reference)
+
+    def test_serial_interrupt_resumes_over_tcp(self, tmp_path, tcp_agents):
+        reference = tmp_path / "reference"
+        interrupted = tmp_path / "interrupted"
+        paper_smoke(reference)
+
+        with pytest.raises(Interrupted):
+            paper_smoke(interrupted, progress=InterruptAfter(3))
+        persisted = len(list((interrupted / CELLS_DIR_NAME).glob("*.pkl")))
+        assert 0 < persisted < TOTAL_CELLS, "the interrupt must land mid-run"
+
+        endpoint = tcp_agents(2)
+        with AsyncBackend(endpoint=endpoint) as backend:
+            paper_smoke(interrupted, backend=backend)
+        assert backend.tasks_submitted == TOTAL_CELLS - persisted
+        assert cells_metadata(interrupted) == {
+            "reused": persisted,
+            "computed": TOTAL_CELLS - persisted,
+        }
+        assert figure_bytes(interrupted) == figure_bytes(reference)
 
 
 class TestCellStore:
