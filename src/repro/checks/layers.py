@@ -25,7 +25,9 @@ LAYERS: Dict[str, FrozenSet[str]] = {
     # Leaf utilities: importable by everyone, import nothing.
     "util": frozenset(),
     # The simulation core and its protocol layers form the seed-pure
-    # island: they may see each other and util, never the harness.
+    # island: they may see each other and util, never the harness.  The
+    # fault-injection engine (repro.sim.faults) lives inside this layer:
+    # it drives nodes and channels through their public fault hooks.
     "sim": frozenset({"util", "mac", "routing"}),
     "mac": frozenset({"util", "sim"}),
     "routing": frozenset({"util", "sim"}),
@@ -39,8 +41,20 @@ LAYERS: Dict[str, FrozenSet[str]] = {
     # imports nothing back — a standalone agent must not drag in the
     # simulation or harness at import time.
     "experiments.remote": frozenset({"util"}),
+    # The fault-injection workload families (experiments.workloads) are
+    # ordinary experiments-layer code: grids of FaultPlan-carrying
+    # scenario specs beside the paper figures.
     "experiments": frozenset(
-        {"util", "sim", "mac", "routing", "core", "transport", "plots.spec", "experiments.remote"}
+        {
+            "util",
+            "sim",
+            "mac",
+            "routing",
+            "core",
+            "transport",
+            "plots.spec",
+            "experiments.remote",
+        }
     ),
     "plots": frozenset({"util", "experiments", "plots.spec"}),
     # The analysis suite audits the tree; nothing imports it, and it

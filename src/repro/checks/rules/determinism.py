@@ -24,7 +24,16 @@ _BANNED_TIME_ATTRS = frozenset(
 )
 
 #: Packages whose behaviour must be a pure function of the seed.
-_SIM_PACKAGES = ("repro.sim", "repro.transport", "repro.routing", "repro.mac")
+#: ``repro.sim`` covers the fault-injection engine (``repro.sim.faults``)
+#: by prefix; the workload families compose FaultPlans into scenario
+#: grids and are held to the same contract explicitly.
+_SIM_PACKAGES = (
+    "repro.sim",
+    "repro.transport",
+    "repro.routing",
+    "repro.mac",
+    "repro.experiments.workloads",
+)
 
 #: Driver trees gated alongside the library (benchmarks get a
 #: wall-clock carve-out: measuring elapsed time is their whole job).

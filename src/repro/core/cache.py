@@ -134,6 +134,17 @@ class PacketCache:
             del self._entries[(flow_id, seq)]
         return len(seqs)
 
+    def clear(self) -> int:
+        """Drop every cached packet (node-crash teardown); returns the count.
+
+        Hit/miss/eviction counters survive — they describe the node's
+        history, not its current contents.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._flow_index.clear()
+        return dropped
+
     def retrieve_for_snack(self, flow_id: int, snack: Tuple[int, ...]) -> List[Packet]:
         """All cached packets of ``flow_id`` whose seq appears in ``snack``."""
         found: List[Packet] = []

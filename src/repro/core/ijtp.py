@@ -87,6 +87,18 @@ class IntermediateJTP:
         self.mac.post_receive_hooks.append(self.post_receive)
         self._installed = True
 
+    def on_node_crash(self) -> None:
+        """Crash teardown (fault injection): iJTP soft state dies with the node.
+
+        The packet cache and the recovery hold-off table are per-node
+        soft state in the paper's sense — rebuilt from traversing
+        traffic, never required for correctness — so a crashed node
+        restarts with both empty.
+        """
+        if self.cache is not None:
+            self.cache.clear()
+        self._recent_recoveries.clear()
+
     # -- Algorithm 1: PreXmit ------------------------------------------------------------------
 
     def pre_transmit(self, packet: object, context: LinkContext) -> bool:

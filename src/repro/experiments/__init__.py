@@ -25,6 +25,10 @@
   (``figure3`` … ``figure11``, ``table2``) returning structured rows,
   each metric figure also exposing its ``figureN_plan()`` grid for
   batching and each trace figure a ``figureN_rows()`` adapter;
+* :mod:`repro.experiments.workloads` — the fault-injection resilience
+  workload families (``churn``, ``partition_heal``, ``flapping_links``,
+  ``blackout``), metric jobs pairing the figure grids with
+  :class:`~repro.sim.faults.FaultPlan` schedules (``docs/faults.md``);
 * :mod:`repro.experiments.results` — the on-disk results store: run
   directories with per-figure JSON/CSV rows plus a manifest recording
   seeds, preset, backend and git provenance;
@@ -102,13 +106,16 @@ from repro.experiments.presets import (
     SMOKE_LINEAR,
     SMOKE_RANDOM,
     TRACE_FIGURES,
+    WORKLOAD_JOBS,
     preset_seeds,
     run_paper,
+    workload_index,
 )
 from repro.experiments.progress import ProgressBars
 from repro.experiments.results import RunResults, load_run, save_run
 from repro.experiments.report import format_run, format_table
 from repro.experiments import figures
+from repro.experiments import workloads
 
 __all__ = [
     "ScenarioMetrics",
@@ -146,8 +153,10 @@ __all__ = [
     "PAPER_RANDOM",
     "SMOKE_LINEAR",
     "SMOKE_RANDOM",
+    "WORKLOAD_JOBS",
     "preset_seeds",
     "run_paper",
+    "workload_index",
     "ProgressBars",
     "RunResults",
     "load_run",
@@ -155,4 +164,5 @@ __all__ = [
     "format_run",
     "format_table",
     "figures",
+    "workloads",
 ]

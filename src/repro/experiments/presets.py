@@ -40,6 +40,7 @@ run directory behind as the job's artifact.
 
 from __future__ import annotations
 
+import importlib
 import sys
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -121,23 +122,25 @@ class FigureJob:
     #: printed by ``python -m repro.experiments --list-figures`` and the
     #: README's figure index (tests pin the two against this field).
     description: str = ""
+    #: The module exposing the job's ``<name>``/``<name>_plan`` entry
+    #: points.  Paper figures live in :mod:`repro.experiments.figures`;
+    #: the fault-injection workload families live in
+    #: :mod:`repro.experiments.workloads`.
+    module: str = "repro.experiments.figures"
+
+    def _module(self):
+        return importlib.import_module(self.module)
 
     def func(self) -> Callable[..., List[dict]]:
-        from repro.experiments import figures
-
-        return getattr(figures, self.name)
+        return getattr(self._module(), self.name)
 
     def planner(self) -> Callable[..., "FigurePlan"]:
         """The figure's ``<name>_plan()`` builder (metric figures only)."""
-        from repro.experiments import figures
-
-        return getattr(figures, f"{self.name}_plan")
+        return getattr(self._module(), f"{self.name}_plan")
 
     def rows_func(self) -> Callable[..., List[dict]]:
         """The figure's ``<name>_rows()`` adapter (trace figures only)."""
-        from repro.experiments import figures
-
-        return getattr(figures, f"{self.name}_rows")
+        return getattr(self._module(), f"{self.name}_rows")
 
 
 #: The metric figures batched by :func:`run_paper`, in paper order.
@@ -255,7 +258,72 @@ ALL_FIGURES: Tuple[FigureJob, ...] = tuple(
     sorted(METRIC_FIGURES + TRACE_FIGURES, key=lambda job: _PAPER_ORDER.index(job.name))
 )
 
-_JOBS_BY_NAME: Dict[str, FigureJob] = {job.name: job for job in ALL_FIGURES}
+#: The fault-injection workload families (:mod:`repro.experiments.workloads`).
+#: They are metric jobs in every respect — planned grids, batched cells,
+#: cell-cache resume — but are listed separately from the paper figures:
+#: :func:`run_paper` accepts their names alongside figure names, while
+#: :func:`figure_index` (and therefore the README's paper-figure index)
+#: stays exactly the paper's figures.
+WORKLOAD_JOBS: Tuple[FigureJob, ...] = (
+    FigureJob(
+        "churn",
+        "random",
+        smoke_kwargs={
+            "protocols": ("jtp", "tcp"),
+            "churn_rates": (0.0, 0.02),
+            "num_nodes": 10,
+            "num_flows": 2,
+            "mean_downtime": 20.0,
+            "transfer_bytes": 30_000,
+            "duration": 300,
+        },
+        description="Goodput and delivery under Poisson node crash/recover churn",
+        module="repro.experiments.workloads",
+    ),
+    FigureJob(
+        "partition_heal",
+        "linear",
+        smoke_kwargs={
+            "protocols": ("jtp", "tcp"),
+            "outages": (0.0, 20.0),
+            "num_nodes": 5,
+            "fault_start": 30.0,
+            "transfer_bytes": 60_000,
+            "duration": 240,
+        },
+        description="Resilience across a clean network partition that heals mid-run",
+        module="repro.experiments.workloads",
+    ),
+    FigureJob(
+        "flapping_links",
+        "linear",
+        smoke_kwargs={
+            "protocols": ("jtp", "tcp"),
+            "flap_rates": (0.0, 0.04),
+            "num_nodes": 5,
+            "transfer_bytes": 60_000,
+            "duration": 240,
+        },
+        description="Resilience under Poisson forced link outages on every chain link",
+        module="repro.experiments.workloads",
+    ),
+    FigureJob(
+        "blackout",
+        "linear",
+        smoke_kwargs={
+            "protocols": ("jtp", "tcp"),
+            "outages": (0.0, 30.0),
+            "num_nodes": 5,
+            "fault_start": 30.0,
+            "transfer_bytes": 60_000,
+            "duration": 240,
+        },
+        description="Resilience while every link is forced into its bad loss regime",
+        module="repro.experiments.workloads",
+    ),
+)
+
+_JOBS_BY_NAME: Dict[str, FigureJob] = {job.name: job for job in ALL_FIGURES + WORKLOAD_JOBS}
 
 
 def figure_index() -> List[Tuple[str, str, str]]:
@@ -264,8 +332,19 @@ def figure_index() -> List[Tuple[str, str, str]]:
     The single source for the figure listings: ``python -m
     repro.experiments --list-figures`` prints it and the README's
     paper-figure index must name every entry (pinned by the doc tests).
+    Workload families are listed by :func:`workload_index` instead.
     """
     return [(job.name, job.kind, job.description) for job in ALL_FIGURES]
+
+
+def workload_index() -> List[Tuple[str, str, str]]:
+    """``(name, kind, description)`` for every fault-injection workload.
+
+    The workload counterpart of :func:`figure_index`: printed by
+    ``python -m repro.experiments --list-figures`` under its own
+    heading and pinned against ``docs/faults.md`` by the doc tests.
+    """
+    return [(job.name, job.kind, job.description) for job in WORKLOAD_JOBS]
 
 
 #: Signature of the ``run_paper(progress=…)`` callback: called as
@@ -288,6 +367,10 @@ def run_paper(
     """Regenerate the paper's figures — one batched submission, one call.
 
     ``figures`` names a subset (default: all of :data:`ALL_FIGURES`);
+    fault-injection workload names from :data:`WORKLOAD_JOBS`
+    (``"churn"``, ``"partition_heal"``, …) may be mixed in and run as
+    ordinary metric jobs — the default all-figures run regenerates the
+    paper only and leaves the workloads opt-in.
     ``seeds`` is a preset name (``"paper"``/``"smoke"``), a replication
     count, or an explicit seed list; ``backend``/``workers`` select the
     executor exactly as in

@@ -25,6 +25,7 @@ from repro.core.config import JTPConfig
 from repro.experiments.metrics import ScenarioMetrics, collect_metrics
 from repro.mac.tdma import MacConfig
 from repro.sim.channel import LinkQuality
+from repro.sim.faults import FaultPlan
 from repro.sim.mobility import RandomWaypointMobility
 from repro.sim.network import Network
 from repro.sim.random import RandomStreams
@@ -89,6 +90,7 @@ def linear_scenario(
     jtp_config: Optional[JTPConfig] = None,
     flow_start_spacing: float = 5.0,
     trace_enabled: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ScenarioResult:
     """Run one static linear-topology experiment.
 
@@ -112,6 +114,8 @@ def linear_scenario(
         proto.create_flow(network, 0, num_nodes - 1, transfer_bytes, start_time=i * flow_start_spacing)
         for i in range(num_flows)
     ]
+    if fault_plan is not None:
+        network.install_fault_plan(fault_plan)
     return _finish(network, proto, flows, duration)
 
 
@@ -126,6 +130,7 @@ def random_scenario(
     jtp_config: Optional[JTPConfig] = None,
     radio_range: float = 50.0,
     trace_enabled: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ScenarioResult:
     """Run one static random-topology experiment (Figure 10).
 
@@ -144,6 +149,8 @@ def random_scenario(
     )
     proto.install(network)
     flows = _random_flows(network, proto, num_flows, transfer_bytes, seed)
+    if fault_plan is not None:
+        network.install_fault_plan(fault_plan)
     return _finish(network, proto, flows, duration)
 
 
@@ -158,6 +165,7 @@ def mobile_scenario(
     jtp_config: Optional[JTPConfig] = None,
     radio_range: float = 50.0,
     trace_enabled: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ScenarioResult:
     """Run one mobile random-topology experiment (Figure 11).
 
@@ -185,6 +193,8 @@ def mobile_scenario(
     network.attach_mobility(mobility)
     proto.install(network)
     flows = _random_flows(network, proto, num_flows, transfer_bytes, seed)
+    if fault_plan is not None:
+        network.install_fault_plan(fault_plan)
     return _finish(network, proto, flows, duration)
 
 
@@ -197,6 +207,7 @@ def testbed_scenario(
     seed: int = 0,
     jtp_config: Optional[JTPConfig] = None,
     trace_enabled: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ScenarioResult:
     """Run one testbed-like experiment (Table 2).
 
@@ -225,6 +236,8 @@ def testbed_scenario(
             size = max(8_000.0, workload_rng.expovariate(1.0 / mean_transfer_bytes))
             flows.append(proto.create_flow(network, src, dst, size, start_time=arrival))
             arrival += workload_rng.expovariate(1.0 / mean_interarrival)
+    if fault_plan is not None:
+        network.install_fault_plan(fault_plan)
     return _finish(network, proto, flows, duration)
 
 

@@ -96,6 +96,12 @@ class CsmaMac(TdmaMac):
         return airtime + self._rng.uniform(0.0, self.max_backoff)
 
     def _attempt(self, packet: object, next_hop: int, attempt_no: int, attempts_allowed: int) -> None:
+        if not self.active:
+            # Mirror the base guard before touching the shared medium:
+            # a down node must not register as a contending transmitter.
+            self._dropped(packet, "node_down")
+            self._busy = False
+            return
         others = self.medium.begin_transmission()
         try:
             collision_probability = 1.0 - (1.0 - self.collision_base) ** others
@@ -124,7 +130,7 @@ class CsmaMac(TdmaMac):
 
         service_time = self._service_time(packet)
         if attempt_no < attempts_allowed:
-            self.sim.schedule(service_time, self._attempt, packet, next_hop, attempt_no + 1, attempts_allowed)
+            self.sim.schedule(service_time, self._retry, self._epoch, packet, next_hop, attempt_no + 1, attempts_allowed)
         else:
             estimator.record_packet(attempt_no, delivered=False)
             self._dropped(packet, "link_exhausted")

@@ -139,6 +139,12 @@ class TdmaMac:
         self._node_tx_rate = WindowedRate(self.config.estimator_window, start=sim.now)
         self._busy = False
         self._energy_meter = stats.register_node(node_id)
+        # Fault injection: an inactive MAC (crashed or paused node)
+        # accepts nothing and transmits nothing.  The epoch counter
+        # invalidates retry chains scheduled before a crash, so a frame
+        # never survives its node's reboot.
+        self.active = True
+        self._epoch = 0
 
     # -- link estimation --------------------------------------------------------------
 
@@ -201,6 +207,9 @@ class TdmaMac:
 
         Returns False and counts a queue drop if the MAC queue is full.
         """
+        if not self.active:
+            self._dropped(packet, "node_down")
+            return False
         accepted = self.queue.push((packet, next_hop))
         if not accepted:
             self.stats.record_queue_drop()
@@ -232,6 +241,11 @@ class TdmaMac:
             raise AttributeError("packets handled by the MAC must expose 'size_bits'") from None
 
     def _service_next(self) -> None:
+        if not self.active:
+            # The node went down with this continuation pending; the
+            # service loop dies here and restarts on reactivation.
+            self._busy = False
+            return
         entry = self.queue.pop()
         if entry is None:
             self._busy = False
@@ -253,7 +267,29 @@ class TdmaMac:
             return None
         return hops_fn(packet)
 
+    def _retry(self, epoch: int, packet: object, next_hop: int, attempt_no: int, attempts_allowed: int) -> None:
+        """A scheduled link-layer retry; gated on the fault epoch.
+
+        If the node crashed after this retry was scheduled, the frame
+        died with the radio: it is dropped even if the node has since
+        recovered, and the (restarted) service loop moves on.
+        """
+        if epoch != self._epoch:
+            self._dropped(packet, "node_down")
+            if self.active:
+                self.sim.schedule(0.0, self._service_next)
+            else:
+                self._busy = False
+            return
+        self._attempt(packet, next_hop, attempt_no, attempts_allowed)
+
     def _attempt(self, packet: object, next_hop: int, attempt_no: int, attempts_allowed: int) -> None:
+        if not self.active:
+            # The node paused with this attempt in flight: the frame is
+            # lost (the radio is off) and the loop parks until resume.
+            self._dropped(packet, "node_down")
+            self._busy = False
+            return
         # Hot path: one attempt per MAC transmission.  The airtime is
         # computed once and reused for the tx energy, rx energy and
         # service time — the same floating-point expressions the energy
@@ -297,7 +333,7 @@ class TdmaMac:
             schedule(service_time, self._service_next)
         elif attempt_no < attempts_allowed:
             retry_delay = service_time + self.config.arq.retry_delay(service_time) - service_time
-            schedule(service_time + retry_delay, self._attempt, packet, next_hop, attempt_no + 1, attempts_allowed)
+            schedule(service_time + retry_delay, self._retry, self._epoch, packet, next_hop, attempt_no + 1, attempts_allowed)
         else:
             estimator.record_packet(attempt_no, delivered=False)
             self._dropped(packet, "link_exhausted")
@@ -333,12 +369,53 @@ class TdmaMac:
 
     def receive(self, packet: object, from_node: int) -> None:
         """Called by the network when a frame from ``from_node`` arrives here."""
+        if not self.active:
+            # A frame already in flight when the node went down arrives
+            # at a dead radio.
+            self._dropped(packet, "node_down")
+            return
         for hook in self.post_receive_hooks:
             if not hook(packet, self):
                 return
         if self.deliver_upstream is None:
             raise RuntimeError("MAC is not wired to a node (deliver_upstream is None)")
         self.deliver_upstream(packet, from_node)
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def deactivate(self, flush: bool = True) -> None:
+        """Take the radio down (fault injection).
+
+        ``flush=True`` is crash semantics: the queue is drained with
+        every frame counted as dropped, the link estimators (soft state)
+        are forgotten, and the fault epoch advances so retry chains
+        scheduled before the crash cannot outlive it.  ``flush=False``
+        is pause semantics: queued frames and estimator state survive
+        until :meth:`reactivate`.
+
+        ``_busy`` is deliberately left alone: any pending service-loop
+        continuation converts itself into a loop shutdown when it fires
+        against the inactive flag, which keeps the one-loop invariant
+        without cancellable event handles.
+        """
+        if not self.active:
+            return
+        self.active = False
+        if flush:
+            self._epoch += 1
+            for packet, _next_hop in self.queue.drain():
+                self._dropped(packet, "node_down")
+            self._estimators.clear()
+            self._node_tx_rate = WindowedRate(self.config.estimator_window, start=self.sim.now)
+
+    def reactivate(self) -> None:
+        """Bring the radio back up and restart the service loop if needed."""
+        if self.active:
+            return
+        self.active = True
+        if not self._busy and len(self.queue):
+            self._busy = True
+            self.sim.schedule(0.0, self._service_next)
 
     # -- introspection -----------------------------------------------------------------
 

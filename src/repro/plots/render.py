@@ -536,13 +536,17 @@ def render_figure(
 def default_specs() -> Dict[str, PlotSpec]:
     """The repo's figure-name → :class:`PlotSpec` registry.
 
+    Merges the paper figures (``figures.PLOT_SPECS``) with the
+    fault-injection workload families (``workloads.WORKLOAD_PLOT_SPECS``)
+    so a stored run holding workload rows renders with the same engine.
     Imported lazily: :mod:`repro.experiments.figures` itself imports
     :mod:`repro.plots.spec`, and a module-level import here would tie
     the two packages into a cycle.
     """
     from repro.experiments.figures import PLOT_SPECS
+    from repro.experiments.workloads import WORKLOAD_PLOT_SPECS
 
-    return dict(PLOT_SPECS)
+    return {**PLOT_SPECS, **WORKLOAD_PLOT_SPECS}
 
 
 def render_run(

@@ -10,6 +10,10 @@ environment used in the paper.  It provides:
   channel's connectivity queries,
 * :mod:`repro.sim.channel` — distance-based connectivity with a
   Gilbert–Elliott good/bad loss process per link,
+* :mod:`repro.sim.faults` — the deterministic fault-injection engine:
+  declarative :class:`FaultPlan` schedules (node crash/recover churn,
+  link outages, partitions, regime blackouts) applied as first-class
+  simulator events,
 * :mod:`repro.sim.profile` — opt-in events/sec and per-callback
   profiling of the engine's run loop,
 * :mod:`repro.sim.mobility` — the random-waypoint mobility model,
@@ -23,6 +27,7 @@ environment used in the paper.  It provides:
 from repro.sim.engine import Event, Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.channel import Channel, GilbertElliottLink, LinkQuality
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan, FaultProcess
 from repro.sim.profile import CoreProfiler, profiled
 from repro.sim.spatial import SpatialGrid
 from repro.sim.topology import (
@@ -48,6 +53,10 @@ __all__ = [
     "CoreProfiler",
     "GilbertElliottLink",
     "LinkQuality",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProcess",
     "SpatialGrid",
     "profiled",
     "Position",

@@ -141,23 +141,35 @@ class GilbertElliottLink:
         self._advance(now)
         return self._state
 
-    def loss_probability(self, now: float) -> float:
-        """Per-transmission loss probability at time ``now``."""
-        self._advance(now)
-        return self.quality.bad_loss if self._state == self.BAD else self.quality.good_loss
+    def loss_probability(self, now: float, forced_state: Optional[str] = None) -> float:
+        """Per-transmission loss probability at time ``now``.
 
-    def transmission_succeeds(self, now: float) -> bool:
+        ``forced_state`` (fault injection) overrides which state's loss
+        applies without disturbing the underlying chain: the state
+        machine still advances and consumes the same draws, so clearing
+        the override resumes the natural process exactly where it would
+        have been.
+        """
+        self._advance(now)
+        state = self._state if forced_state is None else forced_state
+        return self.quality.bad_loss if state == self.BAD else self.quality.good_loss
+
+    def transmission_succeeds(self, now: float, forced_state: Optional[str] = None) -> bool:
         """Sample one transmission attempt outcome at time ``now``.
 
         The outcome draw is taken *before* the state machine advances —
         the historical evaluation order of ``rng.random() >=
         loss_probability(now)`` (Python evaluates the left operand
         first), which seeded experiments depend on since both draws come
-        from the same per-link stream.
+        from the same per-link stream.  ``forced_state`` overrides which
+        state's loss the draw is compared against (fault injection)
+        while leaving the chain's evolution — and its RNG consumption —
+        untouched.
         """
         draw = self._rng.random()
         self._advance(now)
-        loss = self.quality.bad_loss if self._state == self.BAD else self.quality.good_loss
+        state = self._state if forced_state is None else forced_state
+        loss = self.quality.bad_loss if state == self.BAD else self.quality.good_loss
         return draw >= loss
 
 
@@ -199,6 +211,13 @@ class Channel:
         #: node -> cached neighbour set; cleared on any position change.
         self._neighbors_cache: Dict[int, Set[int]] = {}
         self._connectivity_cache: Optional[Dict[int, Set[int]]] = None
+        # Fault-injection state (repro.sim.faults).  All of it empty/None
+        # in a fault-free run, in which case every query below takes the
+        # exact historical code path — and the exact historical RNG
+        # draws — of a channel that has never heard of faults.
+        self._down_nodes: Set[int] = set()
+        self._blocked_links: Dict[Tuple[int, int], int] = {}
+        self._forced_regime: Optional[str] = None
 
     # -- positions and connectivity -------------------------------------------------
 
@@ -250,8 +269,27 @@ class Channel:
         # insertion order (ascending ids), which keeps set iteration
         # order — and so every downstream consumer — bit-identical.
         result = self._grid.neighbors_within(node_id, self._positions, self.radio_range)
+        if self._down_nodes or self._blocked_links:
+            result = self._filter_faulted(node_id, result)
         self._neighbors_cache[node_id] = result
         return result
+
+    def _filter_faulted(self, node_id: int, neighbors: Set[int]) -> Set[int]:
+        """Drop down nodes and blocked links from a freshly computed neighbour set.
+
+        Rebuilds the set in ascending-id insertion order so its
+        iteration order stays identical to the unfiltered construction.
+        """
+        if node_id in self._down_nodes:
+            return set()
+        down = self._down_nodes
+        blocked = self._blocked_links
+        filtered: Set[int] = set()
+        for other in sorted(neighbors):
+            if other in down or (node_id, other) in blocked or (other, node_id) in blocked:
+                continue
+            filtered.add(other)
+        return filtered
 
     def neighbors_of(self, node_id: int) -> Set[int]:
         """All nodes currently within radio range of ``node_id``.
@@ -270,6 +308,76 @@ class Channel:
             graph = {node_id: self.neighbors_of(node_id) for node_id in range(len(self._positions))}
             self._connectivity_cache = graph
         return graph
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def _invalidate_connectivity(self) -> None:
+        if self._neighbors_cache:
+            self._neighbors_cache.clear()
+        self._connectivity_cache = None
+
+    def set_node_down(self, node_id: int, down: bool) -> None:
+        """Remove a node from (or restore it to) the connectivity graph.
+
+        A down node hears nothing and is heard by nobody; every
+        transmission attempt towards it fails.  Used by the fault
+        injector for crashed and paused nodes.
+        """
+        if not 0 <= node_id < len(self._positions):
+            raise KeyError(f"unknown node {node_id}")
+        if down:
+            if node_id in self._down_nodes:
+                return
+            self._down_nodes.add(node_id)
+        else:
+            if node_id not in self._down_nodes:
+                return
+            self._down_nodes.discard(node_id)
+        self._invalidate_connectivity()
+
+    def block_link(self, src: int, dst: int, symmetric: bool = True) -> None:
+        """Administratively sever a link (fault injection); reference counted.
+
+        A link blocked by both an explicit link fault and a partition
+        stays severed until *both* are lifted.
+        """
+        self._blocked_links[(src, dst)] = self._blocked_links.get((src, dst), 0) + 1
+        if symmetric:
+            self._blocked_links[(dst, src)] = self._blocked_links.get((dst, src), 0) + 1
+        self._invalidate_connectivity()
+
+    def unblock_link(self, src: int, dst: int, symmetric: bool = True) -> None:
+        """Lift one :meth:`block_link` reference; raises if the link is not blocked."""
+        for key in ((src, dst), (dst, src)) if symmetric else ((src, dst),):
+            count = self._blocked_links.get(key)
+            if count is None:
+                raise ValueError(f"link {key} is not blocked")
+            if count == 1:
+                del self._blocked_links[key]
+            else:
+                self._blocked_links[key] = count - 1
+        self._invalidate_connectivity()
+
+    def force_regime(self, state: Optional[str]) -> None:
+        """Force every Gilbert–Elliott link's effective state, or restore (None).
+
+        The override changes only which state's loss probability applies;
+        each link's chain keeps evolving (and consuming draws) exactly as
+        without the override, so clearing it resumes the natural process.
+        """
+        if state not in (None, GilbertElliottLink.GOOD, GilbertElliottLink.BAD):
+            raise ValueError(f"regime must be 'good', 'bad' or None, got {state!r}")
+        self._forced_regime = state
+
+    @property
+    def down_nodes(self) -> Set[int]:
+        """Nodes currently removed from the graph by fault injection (a copy)."""
+        return set(self._down_nodes)
+
+    @property
+    def forced_regime(self) -> Optional[str]:
+        """The active Gilbert–Elliott override, if any."""
+        return self._forced_regime
 
     # -- link quality ----------------------------------------------------------------
 
@@ -299,7 +407,7 @@ class Channel:
         """
         if not self.in_range(src, dst):
             return 1.0
-        return self._link(src, dst, now).loss_probability(now)
+        return self._link(src, dst, now).loss_probability(now, self._forced_regime)
 
     def average_loss_probability(self, src: int, dst: int) -> float:
         """Long-run average loss of the directed link (ignores range)."""
@@ -318,4 +426,4 @@ class Channel:
             if not 0 <= dst < len(self._positions):
                 raise KeyError(f"unknown node {dst}")
             return False
-        return self._link(src, dst, now).transmission_succeeds(now)
+        return self._link(src, dst, now).transmission_succeeds(now, self._forced_regime)

@@ -29,6 +29,7 @@ from repro.util.validation import require_positive
 
 if TYPE_CHECKING:  # imported for annotations only, to avoid a sim <-> mac import cycle
     from repro.mac.tdma import MacConfig, TdmaMac
+    from repro.sim.faults import FaultInjector, FaultPlan
 
 
 def _default_mac_config() -> "MacConfig":
@@ -88,6 +89,7 @@ class Network:
             self._medium = None
         self.nodes: List[Node] = [self._build_node(i) for i in range(len(config.positions))]
         self.mobility = None
+        self.fault_injector: Optional["FaultInjector"] = None
         self._started = False
         self._next_flow_id = 0
 
@@ -184,6 +186,25 @@ class Network:
         if self._started:
             raise RuntimeError("cannot attach mobility after the network has started")
         self.mobility = mobility
+
+    def install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
+        """Install a fault-injection plan (must happen before :meth:`start`).
+
+        Materialises the plan's stochastic processes from the dedicated
+        ``"faults"`` random stream and schedules every fault event on
+        the simulator heap; the injector is kept on
+        :attr:`fault_injector` for metrics collection.
+        """
+        from repro.sim.faults import FaultInjector
+
+        if self._started:
+            raise RuntimeError("cannot install a fault plan after the network has started")
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault plan is already installed")
+        injector = FaultInjector(self, plan)
+        injector.install()
+        self.fault_injector = injector
+        return injector
 
     def start(self) -> None:
         """Start routing (and mobility, if attached); idempotent."""

@@ -123,6 +123,30 @@ class Node:
             return
         agent.on_packet(packet)
 
+    # -- fault lifecycle --------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Crash teardown: the MAC queue, estimators and radio die with the node.
+
+        Transport agents stay registered — they model application state
+        that survives a reboot; all in-network soft state (queued
+        frames, link estimates, the iJTP cache, which the injector
+        tears down separately) is lost.
+        """
+        self.mac.deactivate(flush=True)
+
+    def on_recover(self) -> None:
+        """Bring a crashed node back up with empty soft state."""
+        self.mac.reactivate()
+
+    def on_pause(self) -> None:
+        """Pause the node: radio off, but queued frames and estimators survive."""
+        self.mac.deactivate(flush=False)
+
+    def on_resume(self) -> None:
+        """Resume a paused node; queued frames continue where they stopped."""
+        self.mac.reactivate()
+
     # -- drop accounting -------------------------------------------------------------------
 
     def _on_mac_drop(self, packet: object, reason: str) -> None:

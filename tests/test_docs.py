@@ -22,7 +22,7 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-DOC_FILES = ("README.md", "docs/results.md", "docs/distributed.md")
+DOC_FILES = ("README.md", "docs/results.md", "docs/distributed.md", "docs/faults.md")
 
 RUNNABLE_MARKER = "# runnable"
 _FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
@@ -160,6 +160,36 @@ class TestReadmeIndexes:
         assert "protocol version" in doc
         assert remote.PROTOCOL_VERSION == 1  # bump the docs when this moves
 
+    def test_faults_doc_is_cross_linked_and_complete(self):
+        # The fault-injection doc is reachable from the README and pins
+        # the real taxonomy and workload registry.
+        assert "docs/faults.md" in self.README
+        doc = (REPO_ROOT / "docs" / "faults.md").read_text()
+
+        from repro.experiments.presets import workload_index
+        from repro.sim.faults import FAULT_KINDS
+
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in doc, f"faults.md misses fault kind `{kind}`"
+        for name, kind, description in workload_index():
+            assert f"`{name}`" in doc, f"faults.md misses workload `{name}`"
+            assert description in doc, f"faults.md misses {name}'s description"
+            assert kind == "metric"
+        # The resilience columns the workloads emit are documented.
+        for column in ("outage_delivery_ratio", "post_heal_recovery_s", "goodput_vs_baseline"):
+            assert column in doc, f"faults.md misses the {column} column"
+        # Both sides of the cross-link between the two failure docs.
+        assert "distributed.md" in doc
+        assert "bench_faults.py" in doc
+
+    def test_readme_workload_section_matches_the_registry(self):
+        from repro.experiments.presets import workload_index
+        from repro.experiments.workloads import WORKLOADS
+
+        assert tuple(name for name, _, _ in workload_index()) == WORKLOADS
+        for name in WORKLOADS:
+            assert f"`{name}`" in self.README, f"README workload list misses `{name}`"
+
 
 class TestListFiguresCli:
     def test_list_figures_prints_the_index(self, capsys):
@@ -169,6 +199,16 @@ class TestListFiguresCli:
         assert main(["--list-figures"]) == 0
         output = capsys.readouterr().out
         for name, _kind, description in figure_index():
+            assert name in output
+            assert description in output
+
+    def test_list_figures_prints_the_workloads_too(self, capsys):
+        from repro.experiments.presets import workload_index
+        from repro.experiments.report import main
+
+        assert main(["--list-figures"]) == 0
+        output = capsys.readouterr().out
+        for name, _kind, description in workload_index():
             assert name in output
             assert description in output
 
